@@ -1,0 +1,16 @@
+"""Ablation benchmark: ATM threshold sweep (see repro.experiments.ablations)."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.mark.benchmark(group="ablation_atm")
+def test_ablation_atm(experiment_runner):
+    result = experiment_runner("ablation_atm", ablations.run_atm)
+    slow = {r["design"]: r["avg_slowdown"] for r in result.rows}
+    # ATM is essentially free for benign workloads (its trigger needs a
+    # row hammered while awaiting DRFM): the whole sweep stays within a
+    # narrow band, including the no-ATM revised-probability variant.
+    values = list(slow.values())
+    assert max(values) - min(values) < 2.5

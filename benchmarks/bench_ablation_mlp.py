@@ -1,0 +1,12 @@
+"""Ablation benchmark: core-model robustness (see repro.experiments.ablations)."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.mark.benchmark(group="ablation_mlp")
+def test_ablation_mlp(experiment_runner):
+    result = experiment_runner("ablation_mlp", ablations.run_mlp)
+    for r in result.rows:
+        assert r["para_dream_r"] < r["para_drfmsb"]

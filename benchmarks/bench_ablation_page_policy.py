@@ -1,0 +1,25 @@
+"""Ablation benchmark: page-policy interaction with mitigation.
+
+Closed-page controllers activate on every access, which roughly doubles
+the tracker-visible ACT rate and with it the mitigation-command rate of
+rate-proportional trackers like PARA.  (Relative slowdown shrinks at the
+same time, because the closed-page baseline itself is slower.)
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.mark.benchmark(group="ablation_page_policy")
+def test_ablation_page_policy(experiment_runner):
+    result = experiment_runner("ablation_page_policy",
+                               ablations.run_page_policy)
+    rows = {r["page_policy"]: r for r in result.rows}
+    # Closed page: every access activates.
+    assert rows["closed"]["acts_per_request"] == pytest.approx(1.0,
+                                                               abs=0.01)
+    assert rows["open"]["acts_per_request"] < 0.8
+    # More ACTs means more tracker selections and more DRFM commands.
+    assert rows["closed"]["mitigation_commands"] > \
+        rows["open"]["mitigation_commands"]

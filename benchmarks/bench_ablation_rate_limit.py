@@ -1,0 +1,14 @@
+"""Ablation benchmark: transitive attack vs refresh flavours (see repro.experiments.ablations)."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.mark.benchmark(group="ablation_rate_limit")
+def test_ablation_rate_limit(experiment_runner):
+    result = experiment_runner("ablation_rate_limit", ablations.run_rate_limit)
+    by_name = {r["scenario"]: r for r in result.rows}
+    assert by_name["bounded p2=0, no limit"]["distance2_flips"] > 0
+    assert by_name["bounded p2=0, rate-limited"]["distance2_flips"] == 0
+    assert by_name["fractal p=0.5, no limit"]["distance2_flips"] == 0

@@ -1,0 +1,21 @@
+"""Ablation benchmark: FCFS vs FR-FCFS queued scheduling.
+
+Under load, first-ready scheduling converts queued locality into row
+hits: higher hit rate, lower latency — and fewer ACTs for trackers.
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.mark.benchmark(group="ablation_scheduler")
+def test_ablation_scheduler(experiment_runner):
+    result = experiment_runner("ablation_scheduler",
+                               ablations.run_scheduler)
+    rows = {r["policy"]: r for r in result.rows}
+    assert rows["fr-fcfs"]["row_hit_rate"] >= rows["fcfs"]["row_hit_rate"]
+    assert rows["fr-fcfs"]["activations"] <= rows["fcfs"]["activations"]
+    assert rows["fr-fcfs"]["avg_latency_ns"] <= \
+        rows["fcfs"]["avg_latency_ns"] * 1.02
+    assert rows["fr-fcfs"]["reorders"] > 0

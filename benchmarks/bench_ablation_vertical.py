@@ -1,0 +1,16 @@
+"""Ablation benchmark: DREAM-C vertical-sharing design space (see repro.experiments.ablations)."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.mark.benchmark(group="ablation_vertical")
+def test_ablation_vertical(experiment_runner):
+    result = experiment_runner("ablation_vertical", ablations.run_vertical)
+    rows = {r["gang_size"]: r for r in result.rows}
+    # Storage halves as the gang doubles...
+    assert rows[256]["kb_per_bank_full_size"] < \
+        rows[32]["kb_per_bank_full_size"]
+    # ...while slowdown grows monotonically with the gang.
+    assert rows[32]["avg_slowdown"] <= rows[256]["avg_slowdown"] + 0.5

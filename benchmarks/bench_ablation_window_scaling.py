@@ -1,0 +1,16 @@
+"""Ablation benchmark: scaled-window invariance (see repro.experiments.ablations)."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.mark.benchmark(group="ablation_window_scaling")
+def test_ablation_window_scaling(experiment_runner):
+    result = experiment_runner("ablation_window_scaling", ablations.run_window_scaling)
+    by_key = {(r["refs_per_window"], r["design"]): r
+              for r in result.rows}
+    for design in ("para-dream-r", "mint-dream-r"):
+        a = by_key[(32, design)]["avg_slowdown"]
+        b = by_key[(64, design)]["avg_slowdown"]
+        assert abs(a - b) < max(2.5, 0.5 * max(a, b))

@@ -1,0 +1,18 @@
+"""Benchmark: DREAM-C worst-case DoS factor (Section 5.5).
+
+Regenerates the experiment through the shared harness; quick mode by
+default, ``REPRO_FULL=1`` for the full 22-workload sweep.  The rendered
+table lands in ``benchmarks/results/dos.txt``.
+"""
+
+import pytest
+
+from repro.experiments import dos
+
+
+@pytest.mark.benchmark(group="dos")
+def test_dos(experiment_runner):
+    result = experiment_runner("dos", dos.run)
+    for r in result.rows:
+        assert r["analytic_factor"] < 5.0
+        assert r["measured_factor"] < 5.0

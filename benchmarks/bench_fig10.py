@@ -1,0 +1,22 @@
+"""Benchmark: DREAM-R threshold sensitivity (Figure 10).
+
+Regenerates the experiment through the shared harness; quick mode by
+default, ``REPRO_FULL=1`` for the full 22-workload sweep.  The rendered
+table lands in ``benchmarks/results/fig10.txt``.
+"""
+
+import pytest
+
+from repro.experiments import fig10
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10(experiment_runner):
+    result = experiment_runner("fig10", fig10.run)
+    avg = result.row_by(workload="AVERAGE")
+    # Slowdown falls as the threshold rises, for both trackers.
+    assert avg["para-dream-r-500"] > avg["para-dream-r-4000"]
+    assert avg["mint-dream-r-500"] > avg["mint-dream-r-4000"]
+    # MINT stays below PARA at every threshold.
+    for t in (500, 1000, 2000, 4000):
+        assert avg[f"mint-dream-r-{t}"] <= avg[f"para-dream-r-{t}"] + 1.0

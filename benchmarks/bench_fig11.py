@@ -1,0 +1,20 @@
+"""Benchmark: PARA vs MINT inter-selection distances (Figure 11).
+
+Regenerates the experiment through the shared harness; quick mode by
+default, ``REPRO_FULL=1`` for the full 22-workload sweep.  The rendered
+table lands in ``benchmarks/results/fig11.txt``.
+"""
+
+import pytest
+
+from repro.experiments import fig11
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11(experiment_runner):
+    result = experiment_runner("fig11", fig11.run)
+    stats = {r["tracker"]: r for r in result.rows}
+    assert stats["para"]["std_distance"] > \
+        2 * stats["mint"]["std_distance"]
+    assert stats["para"]["short_gap_fraction"] > \
+        2 * stats["mint"]["short_gap_fraction"]

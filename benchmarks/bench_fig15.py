@@ -1,0 +1,18 @@
+"""Benchmark: DREAM-C grouping and threshold sensitivity (Figure 15).
+
+Regenerates the experiment through the shared harness; quick mode by
+default, ``REPRO_FULL=1`` for the full 22-workload sweep.  The rendered
+table lands in ``benchmarks/results/fig15.txt``.
+"""
+
+import pytest
+
+from repro.experiments import fig15
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15(experiment_runner):
+    result = experiment_runner("fig15", fig15.run)
+    avg = result.row_by(workload="AVERAGE")
+    assert avg["dream-c-rand-500"] < avg["dream-c-assoc-500"]
+    assert avg["dream-c-rand-1000"] <= avg["dream-c-rand-250"]

@@ -1,0 +1,21 @@
+"""Benchmark: ABACuS vs DREAM-C at T_RH=125 (Figure 17).
+
+Regenerates the experiment through the shared harness; quick mode by
+default, ``REPRO_FULL=1`` for the full 22-workload sweep.  The rendered
+table lands in ``benchmarks/results/fig17.txt``.
+"""
+
+import pytest
+
+from repro.experiments import fig17
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17(experiment_runner):
+    result = experiment_runner("fig17", fig17.run)
+    rows = {r["design"]: r for r in result.rows}
+    ratio = rows["abacus"]["kb_per_bank_full_size"] / \
+        rows["dream-c"]["kb_per_bank_full_size"]
+    assert ratio == pytest.approx(6.33, rel=0.05)
+    assert rows["dream-c-2x"]["avg_slowdown"] <= \
+        rows["dream-c"]["avg_slowdown"] + 0.5

@@ -1,0 +1,23 @@
+"""Benchmark: PRAC vs DREAM-R vs DREAM-C (Figure 19).
+
+Regenerates the experiment through the shared harness; quick mode by
+default, ``REPRO_FULL=1`` for the full 22-workload sweep.  The rendered
+table lands in ``benchmarks/results/fig19.txt``.
+"""
+
+import pytest
+
+from repro.experiments import fig19
+
+
+@pytest.mark.benchmark(group="fig19")
+def test_fig19(experiment_runner):
+    result = experiment_runner("fig19", fig19.run)
+    avg = result.row_by(workload="AVERAGE")
+    # PRAC's intrinsic slowdown is roughly flat across thresholds.
+    prac = [avg[f"prac-moat-{t}"] for t in (500, 1000, 2000, 4000)]
+    assert max(prac) - min(prac) < max(prac) * 0.5
+    # DREAM-C undercuts PRAC at T_RH = 500.
+    assert avg["dream-c-500"] < avg["prac-moat-500"]
+    # DREAM-R undercuts PRAC for T_RH >= 1000.
+    assert avg["mint-dream-r-1000"] < avg["prac-moat-1000"]

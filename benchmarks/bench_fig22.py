@@ -1,0 +1,19 @@
+"""Benchmark: DREAM-C at 16 cores with 2x DCT (Figure 22 / Appendix C).
+
+Regenerates the experiment through the shared harness; quick mode by
+default, ``REPRO_FULL=1`` for the full 22-workload sweep.  The rendered
+table lands in ``benchmarks/results/fig22.txt``.
+"""
+
+import pytest
+
+from repro.experiments import fig22
+
+
+@pytest.mark.benchmark(group="fig22")
+def test_fig22(experiment_runner):
+    result = experiment_runner("fig22", fig22.run)
+    avg = result.row_by(workload="AVERAGE")
+    # Doubling the DCT reduces the 16-core slowdown at every threshold.
+    for t in (250, 500, 1000):
+        assert avg[f"dream-c-2x-{t}"] <= avg[f"dream-c-{t}"] + 0.5

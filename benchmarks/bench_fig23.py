@@ -1,0 +1,17 @@
+"""Benchmark: Multi-program mixes (Figure 23 / Appendix D).
+
+Regenerates the experiment through the shared harness; quick mode by
+default, ``REPRO_FULL=1`` for the full 22-workload sweep.  The rendered
+table lands in ``benchmarks/results/fig23.txt``.
+"""
+
+import pytest
+
+from repro.experiments import fig23
+
+
+@pytest.mark.benchmark(group="fig23")
+def test_fig23(experiment_runner):
+    result = experiment_runner("fig23", fig23.run)
+    avg = result.row_by(mix="AVERAGE")
+    assert avg["dream-c"] < avg["prac-moat"]

@@ -1,0 +1,18 @@
+"""Benchmark: Coupled PARA/MINT with NRR vs DRFMsb vs DRFMab (Figure 5).
+
+Regenerates the experiment through the shared harness; quick mode by
+default, ``REPRO_FULL=1`` for the full 22-workload sweep.  The rendered
+table lands in ``benchmarks/results/fig5.txt``.
+"""
+
+import pytest
+
+from repro.experiments import fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5(experiment_runner):
+    result = experiment_runner("fig5", fig5.run)
+    avg = result.row_by(workload="AVERAGE")
+    assert avg["para-nrr"] < avg["para-drfmsb"] < avg["para-drfmab"]
+    assert avg["mint-nrr"] < avg["mint-drfmsb"] < avg["mint-drfmab"]

@@ -1,0 +1,19 @@
+"""Benchmark: DREAM-R vs NRR vs DRFMsb (Figure 9).
+
+Regenerates the experiment through the shared harness; quick mode by
+default, ``REPRO_FULL=1`` for the full 22-workload sweep.  The rendered
+table lands in ``benchmarks/results/fig9.txt``.
+"""
+
+import pytest
+
+from repro.experiments import fig9
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9(experiment_runner):
+    result = experiment_runner("fig9", fig9.run)
+    avg = result.row_by(workload="AVERAGE")
+    assert avg["para-dream-r"] < avg["para-drfmsb"]
+    assert avg["mint-dream-r"] < avg["mint-drfmsb"]
+    assert avg["mint-dream-r"] < avg["mint-nrr"]

@@ -1,0 +1,18 @@
+"""Motivation benchmark: adversarial extrinsic slowdown of PRAC."""
+
+import pytest
+
+from repro.experiments import motivation
+
+
+@pytest.mark.benchmark(group="motivation_prac")
+def test_motivation_prac_extrinsic(experiment_runner):
+    result = experiment_runner("motivation_prac_extrinsic",
+                               motivation.run_prac_extrinsic)
+    rows = {r["defense"]: r for r in result.rows}
+    # The attack forces mitigations on both defended systems.
+    assert rows["prac-moat"]["mitigations"] > 0
+    assert rows["mint-dream-r"]["mitigations"] > 0
+    # Self-inflicted slowdown stays in contention-attack range.
+    for name in ("prac-moat", "mint-dream-r"):
+        assert rows[name]["slowdown_factor"] < 3.0

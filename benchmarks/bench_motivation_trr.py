@@ -1,0 +1,19 @@
+"""Motivation benchmark: in-DRAM TRR bypass (bit-flip outcomes)."""
+
+import pytest
+
+from repro.experiments import motivation
+
+
+@pytest.mark.benchmark(group="motivation_trr")
+def test_motivation_trr(experiment_runner):
+    result = experiment_runner("motivation_trr",
+                               motivation.run_trr_bypass)
+    by_key = {(r["pattern"], r["defense"]): r for r in result.rows}
+    # TRR stops the naive hammer...
+    assert by_key[("double-sided", "trr")]["bit_flips"] == 0
+    # ...but the decoy pattern flips through it...
+    assert by_key[("decoy-shadow", "trr")]["bit_flips"] > 0
+    # ...while MC-side DREAM-R stays flip-free on every pattern.
+    for pattern in ("double-sided", "decoy-shadow", "blacksmith"):
+        assert by_key[(pattern, "mint-dream-r")]["bit_flips"] == 0

@@ -1,0 +1,18 @@
+"""Benchmark: Graphene storage vs threshold (Table 1).
+
+Regenerates the experiment through the shared harness; quick mode by
+default, ``REPRO_FULL=1`` for the full 22-workload sweep.  The rendered
+table lands in ``benchmarks/results/table1.txt``.
+"""
+
+import pytest
+
+from repro.experiments import table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1(experiment_runner):
+    result = experiment_runner("table1", table1.run)
+    row = {r["t_rh"]: r for r in result.rows}
+    assert row[500]["kb_per_bank"] == pytest.approx(7.9, abs=0.2)
+    assert row[250]["entries"] == 4800

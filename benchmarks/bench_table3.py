@@ -1,0 +1,19 @@
+"""Benchmark: Workload characterisation (Table 3).
+
+Regenerates the experiment through the shared harness; quick mode by
+default, ``REPRO_FULL=1`` for the full 22-workload sweep.  The rendered
+table lands in ``benchmarks/results/table3.txt``.
+"""
+
+import pytest
+
+from repro.experiments import table3
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3(experiment_runner):
+    result = experiment_runner("table3", table3.run)
+    for r in result.rows:
+        # Every workload touches some rows but leaves most untouched.
+        assert 0.0 <= r["rows_act0_pct"] <= 100.0
+        assert r["bw_util_pct"] > 1.0

@@ -1,0 +1,18 @@
+"""Benchmark: Revised DREAM-R tracker parameters (Table 4).
+
+Regenerates the experiment through the shared harness; quick mode by
+default, ``REPRO_FULL=1`` for the full 22-workload sweep.  The rendered
+table lands in ``benchmarks/results/table4.txt``.
+"""
+
+import pytest
+
+from repro.experiments import table4
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4(experiment_runner):
+    result = experiment_runner("table4", table4.run)
+    row = result.row_by(t_rh=2000)
+    assert row["mint_w_dream_r"] == 97
+    assert row["mint_w_with_atm"] == 99

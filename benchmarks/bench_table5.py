@@ -1,0 +1,19 @@
+"""Benchmark: Realised RLP with DRFMsb vs DREAM-R (Table 5).
+
+Regenerates the experiment through the shared harness; quick mode by
+default, ``REPRO_FULL=1`` for the full 22-workload sweep.  The rendered
+table lands in ``benchmarks/results/table5.txt``.
+"""
+
+import pytest
+
+from repro.experiments import table5
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5(experiment_runner):
+    result = experiment_runner("table5", table5.run)
+    rlp = {r["design"]: r["average_rlp"] for r in result.rows}
+    assert rlp["para-drfmsb"] == pytest.approx(1.0, abs=0.2)
+    assert rlp["para-dream-r"] > 2.0
+    assert rlp["mint-dream-r"] > 6.0

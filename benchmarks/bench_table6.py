@@ -1,0 +1,18 @@
+"""Benchmark: DREAM-C configurations and storage (Table 6).
+
+Regenerates the experiment through the shared harness; quick mode by
+default, ``REPRO_FULL=1`` for the full 22-workload sweep.  The rendered
+table lands in ``benchmarks/results/table6.txt``.
+"""
+
+import pytest
+
+from repro.experiments import table6
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6(experiment_runner):
+    result = experiment_runner("table6", table6.run)
+    row = result.row_by(t_rh=500)
+    assert row["gang_size"] == 128
+    assert row["graphene_ratio"] == pytest.approx(8.0, rel=0.05)

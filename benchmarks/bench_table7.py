@@ -1,0 +1,18 @@
+"""Benchmark: DREAM-R with DRFM rate limits (Table 7).
+
+Regenerates the experiment through the shared harness; quick mode by
+default, ``REPRO_FULL=1`` for the full 22-workload sweep.  The rendered
+table lands in ``benchmarks/results/table7.txt``.
+"""
+
+import pytest
+
+from repro.experiments import table7
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7(experiment_runner):
+    result = experiment_runner("table7", table7.run)
+    penalties = {r["mint_w"]: r["penalty_with_rmaq"]
+                 for r in result.rows}
+    assert penalties[25] > penalties[40] >= penalties[45] == 0

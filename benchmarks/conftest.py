@@ -1,0 +1,41 @@
+"""Shared machinery for the per-table / per-figure benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper through
+pytest-benchmark.  Quick mode (default) sweeps the representative
+workload subset; ``REPRO_FULL=1`` switches to the full 22-workload sweep.
+Every run writes its rendered result table to ``results/<name>.txt`` next
+to this directory so the regenerated numbers persist beyond the pytest
+output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, full_mode_enabled
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def experiment_runner(benchmark):
+    """Run one experiment under pytest-benchmark and persist its output."""
+
+    def run(name: str, runner, **kwargs) -> ExperimentResult:
+        quick = not full_mode_enabled()
+        result = benchmark.pedantic(
+            lambda: runner(quick=quick, **kwargs), rounds=1, iterations=1)
+        assert isinstance(result, ExperimentResult)
+        assert result.rows, f"{name} produced no rows"
+        RESULTS_DIR.mkdir(exist_ok=True)
+        rendered = result.render()
+        (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+        print()
+        print(rendered)
+        benchmark.extra_info["experiment"] = name
+        benchmark.extra_info["mode"] = "full" if not quick else "quick"
+        return result
+
+    return run

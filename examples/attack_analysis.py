@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Attack a set of defenses and measure unmitigated exposure.
+
+Drives classic Rowhammer patterns (single-sided, double-sided, the
+circular (ABCD)^N pattern and the RMAQ-abuse pattern from Section 6.2)
+against real mitigation policies and reports the largest activation
+streak any row accumulated without mitigation — the quantity the paper's
+security analyses bound.
+
+Run:  python examples/attack_analysis.py
+"""
+
+from repro.analysis.harness import AttackHarness
+from repro.core.dream_c import dream_c_factory
+from repro.core.dream_r import dream_r_mint_factory, dream_r_para_factory
+from repro.mc.mitigation import coupled_mint_factory, coupled_para_factory
+from repro.mc.policy import no_mitigation_factory
+from repro.workloads.attacks import circular, rmaq_abuse, single_sided
+
+T_RH = 2000
+
+
+def hammer(name, factory, pattern, bank=0, seed=23):
+    harness = AttackHarness(factory, seed=seed)
+    result = harness.run(pattern, bank=bank)
+    print(f"  {name:<22} peak unmitigated streak = "
+          f"{result.max_unmitigated:5d}  "
+          f"(mitigation commands: {result.mitigations})")
+    return result
+
+
+def main() -> None:
+    print(f"single-sided hammer, 12K activations, T_RH={T_RH} "
+          "(double-sided) -> single-sided budget ~{0}".format(2 * T_RH))
+    pattern = single_sided(7, 12_000)
+    hammer("unprotected", no_mitigation_factory(), pattern)
+    hammer("para (coupled)", coupled_para_factory(T_RH), pattern)
+    hammer("para (DREAM-R+ATM)", dream_r_para_factory(T_RH), pattern)
+    hammer("mint (coupled)", coupled_mint_factory(T_RH), pattern)
+    hammer("mint (DREAM-R+ATM)", dream_r_mint_factory(T_RH), pattern)
+    hammer("dream-c (T_RH=500)", dream_c_factory(500), pattern)
+
+    print()
+    print("circular (ABCD)^N pattern over W=100 rows, 30K activations "
+          "(most stressful for MINT):")
+    circ = circular(list(range(100)), 30_000)
+    hammer("mint (coupled)", coupled_mint_factory(T_RH), circ)
+    hammer("mint (DREAM-R+ATM)", dream_r_mint_factory(T_RH), circ)
+
+    print()
+    print("RMAQ-abuse pattern (Section 6.2): force selection, then land "
+          "150 'free' activations")
+    print("while the rate-limit filter suppresses re-sampling "
+          "(T_RH=500, W=24):")
+    rows = list(range(24))
+    abuse = rmaq_abuse(rows, extra_on_target=150, rounds=6)
+    plain = hammer("mint DREAM-R (no limit)", dream_r_mint_factory(500),
+                   abuse)
+    limited = hammer("mint DREAM-R (+RMAQ)",
+                     dream_r_mint_factory(500, rate_limited=True), abuse)
+    gained = limited.max_unmitigated - plain.max_unmitigated
+    print(f"  -> the rate limit lets the attacker gain ~{gained} extra "
+          "activations on the target,")
+    print("     matching the paper's Table 7 analysis "
+          "(bounded by 2*tREFI * 75 = 150 single-sided).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compare every mitigation design in the repository on one workload.
+
+Sweeps the full tracker zoo — coupled PARA/MINT with NRR / DRFMsb /
+DRFMab, DREAM-R, Graphene, ABACuS, DREAM-C (both groupings) and
+PRAC/MOAT — over a memory-intensive workload and prints a league table
+of slowdown, RLP, mitigation commands and tracker storage.
+
+Run:  python examples/mitigation_comparison.py [workload] [t_rh]
+"""
+
+import sys
+
+from repro import (Command, ComparisonResult, SimConfig, SystemConfig,
+                   abacus_factory, build_traces, compare_storage,
+                   coupled_mint_factory, coupled_para_factory,
+                   dream_c_factory, dream_r_mint_factory,
+                   dream_r_para_factory, graphene_factory, moat_factory,
+                   run_simulation)
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "bwaves"
+    t_rh = int(sys.argv[2]) if len(sys.argv) > 2 else 1000
+
+    system = SystemConfig.baseline(refs_per_window=32)
+    prac_system = SystemConfig.prac(refs_per_window=32)
+    sim = SimConfig(requests_per_core=10_000, seed=3)
+
+    print(f"workload={workload}  T_RH={t_rh}")
+    traces = build_traces(workload, system, sim)
+    baseline = run_simulation(system, traces, sim)
+    print(f"baseline: {baseline.describe()}\n")
+
+    designs = [
+        ("para + NRR", coupled_para_factory(t_rh, Command.NRR), system),
+        ("para + DRFMsb", coupled_para_factory(t_rh, Command.DRFM_SB),
+         system),
+        ("para + DRFMab", coupled_para_factory(t_rh, Command.DRFM_AB),
+         system),
+        ("para + DREAM-R", dream_r_para_factory(t_rh), system),
+        ("mint + DRFMsb", coupled_mint_factory(t_rh, Command.DRFM_SB),
+         system),
+        ("mint + DREAM-R", dream_r_mint_factory(t_rh), system),
+        ("graphene", graphene_factory(t_rh), system),
+        ("abacus", abacus_factory(t_rh), system),
+        ("dream-c (assoc)", dream_c_factory(t_rh, randomized=False),
+         system),
+        ("dream-c (rand)", dream_c_factory(t_rh, randomized=True),
+         system),
+        ("prac (MOAT)", moat_factory(t_rh), prac_system),
+    ]
+
+    print(f"{'design':<16} {'slowdown':>9} {'rlp':>6} {'drfm':>6}")
+    for name, factory, target_system in designs:
+        run = run_simulation(target_system, traces, sim, factory, name)
+        comparison = ComparisonResult(baseline, run)
+        print(f"{name:<16} {comparison.slowdown_percent:8.2f}% "
+              f"{run.average_rlp:6.2f} {run.mitigation_commands:6d}")
+
+    if t_rh >= 125:
+        storage = compare_storage(t_rh)
+        print()
+        print(f"full-size tracker storage at T_RH={t_rh} (KB per bank):")
+        print(f"  dream-c  {storage.dream_c_kb:8.2f}")
+        print(f"  graphene {storage.graphene_kb:8.2f} "
+              f"({storage.graphene_ratio:.1f}x)")
+        print(f"  abacus   {storage.abacus_kb:8.2f} "
+              f"({storage.abacus_ratio:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Explore tracker storage and DoS bounds across Rowhammer thresholds.
+
+Regenerates the storage story of the paper (Tables 1 and 6, the Figure 17
+storage axis) for any threshold range, plus the Section 5.5 worst-case
+DoS analysis — all analytic, instant to run.
+
+Run:  python examples/storage_explorer.py
+"""
+
+from repro import compare_storage, dream_c_config, revised_parameters
+from repro.analysis.dos import analyze_dos
+from repro.core.storage import vertical_factor
+
+THRESHOLDS = (125, 250, 500, 1000)
+
+
+def main() -> None:
+    print("DREAM-C configurations (the paper's Table 6):")
+    print(f"{'T_RH':>6} {'gang':>6} {'#DRFMab':>8} {'DCT entries':>12} "
+          f"{'SRAM/bank':>10}")
+    for t_rh in THRESHOLDS:
+        config = dream_c_config(t_rh)
+        print(f"{t_rh:>6} {config.gang_size:>6} "
+              f"{config.drfms_per_mitigation:>8} "
+              f"{config.dct_entries:>12} "
+              f"{config.sram_kb_per_bank():>8.2f}KB")
+
+    print()
+    print("storage comparison, KB per bank at full system size:")
+    print(f"{'T_RH':>6} {'DREAM-C':>9} {'Graphene':>9} {'ABACuS':>9} "
+          f"{'vs Graphene':>12} {'vs ABACuS':>10}")
+    for t_rh in THRESHOLDS:
+        cmp = compare_storage(t_rh)
+        print(f"{t_rh:>6} {cmp.dream_c_kb:>9.2f} {cmp.graphene_kb:>9.2f} "
+              f"{cmp.abacus_kb:>9.2f} {cmp.graphene_ratio:>11.1f}x "
+              f"{cmp.abacus_ratio:>9.1f}x")
+
+    print()
+    print("worst-case DoS bound of DREAM-C (Section 5.5):")
+    for t_rh in THRESHOLDS:
+        print(" ", analyze_dos(t_rh,
+                               vertical=vertical_factor(t_rh)).describe())
+
+    print()
+    print("DREAM-R tracker re-architecting (Table 4):")
+    for t_rh in (1000, 2000, 4000):
+        print(" ", revised_parameters(t_rh).describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""DREAM: Low-Overhead Rowhammer Mitigation via Directed Refresh Management.
+
+A full Python reproduction of the ISCA 2025 paper by Taneja & Qureshi:
+a transaction-level DDR5 memory-system simulator with the DRFM interface,
+the PARA / MINT / Graphene / ABACuS / PRAC tracker zoo, and the paper's
+DREAM-R and DREAM-C designs, plus the complete experiment harness that
+regenerates every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import (SystemConfig, SimConfig, build_traces,
+                       run_simulation, dream_r_mint_factory)
+
+    system = SystemConfig.baseline()
+    sim = SimConfig(requests_per_core=10_000)
+    traces = build_traces("mcf", system, sim)
+    baseline = run_simulation(system, traces, sim)
+    protected = run_simulation(system, traces, sim,
+                               dream_r_mint_factory(t_rh=2000),
+                               "mint-dream-r")
+"""
+
+from repro.core import (ActiveTargetMonitor, DreamCConfig, DreamCPolicy,
+                        DreamRMintPolicy, DreamRParaPolicy, GangMapper,
+                        RecentMitigationQueue, compare_storage,
+                        dream_c_config, dream_c_factory,
+                        dream_r_mint_factory, dream_r_para_factory,
+                        revised_parameters)
+from repro.dram import (Command, DDR5Timing, Device, MOPMapper, Organization,
+                        SubChannel)
+from repro.mc import (MemoryController, coupled_mint_factory,
+                      coupled_para_factory, no_mitigation_factory)
+from repro.sim import (ComparisonResult, RunResult, SimConfig, SystemConfig,
+                       run_comparison, run_simulation)
+from repro.trackers import (abacus_factory, graphene_factory, moat_factory)
+from repro.workloads import (PROFILES, MemoryTrace, WorkloadProfile,
+                             build_traces, profile, profiles_for)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveTargetMonitor",
+    "Command",
+    "ComparisonResult",
+    "DDR5Timing",
+    "Device",
+    "DreamCConfig",
+    "DreamCPolicy",
+    "DreamRMintPolicy",
+    "DreamRParaPolicy",
+    "GangMapper",
+    "MOPMapper",
+    "MemoryController",
+    "MemoryTrace",
+    "Organization",
+    "PROFILES",
+    "RecentMitigationQueue",
+    "RunResult",
+    "SimConfig",
+    "SubChannel",
+    "SystemConfig",
+    "WorkloadProfile",
+    "__version__",
+    "abacus_factory",
+    "build_traces",
+    "compare_storage",
+    "coupled_mint_factory",
+    "coupled_para_factory",
+    "dream_c_config",
+    "dream_c_factory",
+    "dream_r_mint_factory",
+    "dream_r_para_factory",
+    "graphene_factory",
+    "moat_factory",
+    "no_mitigation_factory",
+    "profile",
+    "profiles_for",
+    "revised_parameters",
+    "run_comparison",
+    "run_simulation",
+]

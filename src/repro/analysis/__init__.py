@@ -1,0 +1,38 @@
+"""Measurement and post-processing: RLP, slowdown, selection, DoS, attacks."""
+
+from repro.analysis.dos import DoSAnalysis, analyze_dos, mitigation_block_ps
+from repro.analysis.failure_rate import (TailComparison,
+                                         coupled_tail_comparison,
+                                         delay_inflation,
+                                         dream_r_tail_comparison,
+                                         mint_exposure_bound)
+from repro.analysis.harness import AttackHarness, AttackResult
+from repro.analysis.rlp import RLPStats, sampling_delays_ps, summarize
+from repro.analysis.selection import (DistanceStats, distance_statistics,
+                                      mint_selection_positions,
+                                      monte_carlo_selections,
+                                      para_selection_positions)
+from repro.analysis.slowdown import SlowdownSeries, format_table
+
+__all__ = [
+    "AttackHarness",
+    "AttackResult",
+    "DistanceStats",
+    "DoSAnalysis",
+    "RLPStats",
+    "TailComparison",
+    "SlowdownSeries",
+    "analyze_dos",
+    "coupled_tail_comparison",
+    "delay_inflation",
+    "distance_statistics",
+    "dream_r_tail_comparison",
+    "format_table",
+    "mint_selection_positions",
+    "mint_exposure_bound",
+    "mitigation_block_ps",
+    "monte_carlo_selections",
+    "para_selection_positions",
+    "sampling_delays_ps",
+    "summarize",
+]

@@ -1,0 +1,76 @@
+"""Denial-of-Service analysis of DREAM-C (the paper's Section 5.5).
+
+DRFMab blocks a whole sub-channel, so an attacker who knows (or guesses)
+rows of one gang can hammer them to force back-to-back mitigation rounds.
+The paper bounds the damage: at T_RH = 125 the attacker needs 62
+activations (one tracker threshold) taking ``tRC + 62 * tBUS`` to trigger
+one round that blocks the sub-channel for ~411 ns — a worst-case
+throughput reduction of about 3x, comparable to ordinary row-buffer-
+conflict contention attacks.
+
+This module computes that bound analytically from the timing parameters
+and provides the attack-pattern wiring for measuring it in simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import DDR5Timing
+from repro.trackers.base import tracker_threshold
+
+
+@dataclass(frozen=True)
+class DoSAnalysis:
+    """Worst-case DoS numbers for one DREAM-C configuration."""
+
+    t_rh: int
+    activations_per_round: int
+    attack_time_ps: int
+    mitigation_block_ps: int
+
+    @property
+    def round_time_ps(self) -> int:
+        """Total time of one attack round (activations + mitigation)."""
+        return self.attack_time_ps + self.mitigation_block_ps
+
+    @property
+    def throughput_factor(self) -> float:
+        """Worst-case slowdown factor of sub-channel throughput."""
+        return self.round_time_ps / self.attack_time_ps
+
+    def describe(self) -> str:
+        """Render the Section 5.5 argument with this config's numbers."""
+        return (
+            f"T_RH={self.t_rh}: {self.activations_per_round} ACTs in "
+            f"{self.attack_time_ps / 1000:.0f} ns trigger a "
+            f"{self.mitigation_block_ps / 1000:.0f} ns mitigation block "
+            f"-> throughput reduced {self.throughput_factor:.1f}x")
+
+
+def mitigation_block_ps(timing: DDR5Timing, vertical: int = 1) -> int:
+    """Sub-channel block of one DREAM-C mitigation (V rounds).
+
+    Each round costs the explicit-sampling sweep (32 ACT/Pre+S pairs
+    paced at tRRD, bounded by one row cycle for the last bank) plus the
+    DRFMab itself — ~411 ns per round with JEDEC timings.
+    """
+    sampling = 31 * timing.t_rrd + timing.t_rc
+    return vertical * (sampling + timing.t_drfm_ab)
+
+
+def analyze_dos(t_rh: int, timing: DDR5Timing | None = None,
+                vertical: int = 1) -> DoSAnalysis:
+    """Worst-case DoS analysis for DREAM-C at ``t_rh`` (Section 5.5)."""
+    if timing is None:
+        timing = DDR5Timing.jedec()
+    threshold = tracker_threshold(t_rh)
+    # The attacker's fastest round: one ACT to open the first gang row,
+    # then threshold back-to-back accesses saturating the data bus.
+    attack_time = timing.t_rc + threshold * timing.t_bus
+    return DoSAnalysis(
+        t_rh=t_rh,
+        activations_per_round=threshold,
+        attack_time_ps=attack_time,
+        mitigation_block_ps=mitigation_block_ps(timing, vertical),
+    )

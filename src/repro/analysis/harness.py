@@ -1,0 +1,168 @@
+"""Adversarial attack harness for security evaluation.
+
+Drives a mitigation policy with an explicit attack pattern at maximum
+attacker speed and measures the largest number of activations any row
+accumulates without being mitigated — the quantity every Rowhammer
+guarantee bounds.  The harness runs a real sub-channel controller (banks,
+DARs, REF, DRFM) but forces every access to be an activation (the
+attacker interleaves conflicting accesses, so row-buffer hits never
+absorb the hammer).
+
+Counting is **single-sided**: the per-row activation count.  A
+double-sided tolerated threshold ``T_RH`` corresponds to a single-sided
+bound of ``2 * T_RH`` (each aggressor contributes half the victim's
+disturbance), which is how the security tests translate the paper's
+numbers.  REF-driven victim refresh is deliberately ignored — that is
+attacker-favourable, making the measured exposure an upper bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dram.device import Organization
+from repro.dram.disturbance import DisturbanceModel
+from repro.dram.subchannel import SubChannel
+from repro.dram.timing import DDR5Timing
+from repro.mc.controller import SubChannelController
+from repro.mc.policy import PolicyContext, PolicyFactory
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run."""
+
+    activations: int
+    max_unmitigated: int
+    max_unmitigated_row: tuple[int, int] | None
+    mitigations: int
+    rows_mitigated: int
+    per_row_peaks: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def peak_for(self, bank: int, row: int) -> int:
+        """Largest unmitigated streak a specific row reached."""
+        return self.per_row_peaks.get((bank, row), 0)
+
+
+class AttackHarness:
+    """Hammer a mitigation policy and measure unmitigated exposure."""
+
+    def __init__(self, policy_factory: PolicyFactory,
+                 timing: DDR5Timing | None = None,
+                 organization: Organization | None = None,
+                 seed: int = 99) -> None:
+        self.timing = timing if timing is not None else DDR5Timing.scaled(64)
+        self.organization = (organization if organization is not None
+                             else Organization.scaled(64))
+        self.subchannel = SubChannel(
+            0, self.timing, self.organization.banks,
+            self.organization.banks_per_group, record_mitigations=True)
+        context = PolicyContext(
+            subchannel=0,
+            num_banks=self.organization.banks,
+            banks_per_group=self.organization.banks_per_group,
+            rows_per_bank=self.organization.rows_per_bank,
+            timing=self.timing,
+            seed=seed,
+        )
+        self.policy = policy_factory(context)
+        self.controller = SubChannelController(self.subchannel, self.timing,
+                                               self.policy)
+        self._counts: dict[tuple[int, int], int] = {}
+        self._peaks: dict[tuple[int, int], int] = {}
+        self._events_seen = 0
+        self.now_ps = 0
+        self.last_finish_ps = 0
+        self.activations = 0
+        #: When set, the attacker issues at this fixed pace (e.g. tBUS)
+        #: instead of serializing on each access's completion — the
+        #: bus-limited pipelining the DoS analysis of Section 5.5 assumes.
+        self.pipeline_step_ps: int | None = None
+        self.disturbance: DisturbanceModel | None = None
+
+    def attach_disturbance(self, model: DisturbanceModel) -> None:
+        """Shadow the run with a victim-disturbance model.
+
+        Every attacker ACT disturbs the aggressor's neighbours; every
+        mitigation performs victim refresh; periodic REF clears its row
+        slice in every bank.  After the run, ``model.flips`` holds any
+        Rowhammer failures the defense let through.
+        """
+        self.disturbance = model
+        rows_per_ref = max(
+            1, model.rows_per_bank // self.timing.refs_per_window)
+
+        def on_ref(index: int, _time_ps: int) -> None:
+            first = (index % self.timing.refs_per_window) * rows_per_ref
+            for bank in range(self.subchannel.num_banks):
+                model.on_periodic_refresh(bank, first, rows_per_ref)
+
+        self.controller.refresh.on_ref(on_ref)
+
+    # ------------------------------------------------------------------
+    def _absorb_mitigations(self) -> None:
+        """Reset counters for every row mitigated since the last check."""
+        log = self.subchannel.mitigation_log
+        for event in log[self._events_seen:]:
+            for bank, row in event.mitigated_rows:
+                self._counts[(bank, row)] = 0
+                if self.disturbance is not None:
+                    self.disturbance.on_mitigation(bank, row,
+                                                   event.time_ps)
+        self._events_seen = len(log)
+
+    def hammer_one(self, bank: int, row: int) -> None:
+        """One attacker activation of ``(bank, row)``."""
+        key = (bank, row)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        if self.disturbance is not None:
+            self.disturbance.on_activation(bank, row, self.now_ps)
+        finish = self.controller.service(bank, row, self.now_ps)
+        if finish > self.last_finish_ps:
+            self.last_finish_ps = finish
+        if self.pipeline_step_ps is None:
+            self.now_ps = finish
+        else:
+            self.now_ps += self.pipeline_step_ps
+        self.activations += 1
+        # Attacker forces the row closed so the next access activates.
+        target = self.subchannel.banks[bank]
+        if target.open_row is not None:
+            target.precharge(self.now_ps)
+        self._absorb_mitigations()
+        peak = self._counts.get(key, 0)
+        if peak > self._peaks.get(key, 0):
+            self._peaks[key] = peak
+
+    def run(self, pattern: list[tuple[int, int]] | np.ndarray,
+            bank: int | None = None) -> AttackResult:
+        """Run a full pattern: (bank, row) pairs, or rows with ``bank``.
+
+        Can be called repeatedly; state (counters, time) persists so
+        multi-phase attacks compose.
+        """
+        if bank is not None:
+            pairs = [(bank, int(row)) for row in np.asarray(pattern)]
+        else:
+            pairs = [(int(b), int(r)) for b, r in pattern]
+        for pair in pairs:
+            self.hammer_one(*pair)
+        return self.result()
+
+    def result(self) -> AttackResult:
+        """Current attack statistics."""
+        if self._peaks:
+            worst_key = max(self._peaks, key=self._peaks.__getitem__)
+            worst = self._peaks[worst_key]
+        else:
+            worst_key, worst = None, 0
+        return AttackResult(
+            activations=self.activations,
+            max_unmitigated=worst,
+            max_unmitigated_row=worst_key,
+            mitigations=self.subchannel.stats.mitigation_commands,
+            rows_mitigated=self.subchannel.stats.mitigated_rows,
+            per_row_peaks=dict(self._peaks),
+        )

@@ -1,0 +1,65 @@
+"""Rowhammer-mitigation Level Parallelism (RLP) accounting.
+
+RLP is the number of rows one mitigation command actually mitigates: NRR
+is always 1; DRFMsb can reach 8 and DRFMab 32, but only for banks whose
+DAR holds a row when the command executes.  The sub-channel records every
+mitigation event; this module reduces those events into the statistics of
+the paper's Table 5 and the per-delay diagnostics behind Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.subchannel import MitigationEvent
+
+
+@dataclass(frozen=True)
+class RLPStats:
+    """Summary of realised RLP over a set of mitigation events."""
+
+    commands: int
+    rows_mitigated: int
+    max_rlp: int
+    wasted_bank_stalls: int
+
+    @property
+    def average(self) -> float:
+        """Mean rows mitigated per command (Table 5's metric)."""
+        return self.rows_mitigated / self.commands if self.commands else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of stalled banks that actually performed mitigation."""
+        total = self.rows_mitigated + self.wasted_bank_stalls
+        return self.rows_mitigated / total if total else 0.0
+
+
+def summarize(events: list[MitigationEvent]) -> RLPStats:
+    """Reduce a mitigation log into :class:`RLPStats`."""
+    commands = len(events)
+    rows = sum(event.rlp for event in events)
+    max_rlp = max((event.rlp for event in events), default=0)
+    wasted = sum(event.blocked_banks - event.rlp for event in events)
+    return RLPStats(commands=commands, rows_mitigated=rows, max_rlp=max_rlp,
+                    wasted_bank_stalls=wasted)
+
+
+def sampling_delays_ps(events: list[MitigationEvent],
+                       sampled_at: dict[tuple[int, int], int] | None = None
+                       ) -> list[int]:
+    """Delays between DAR sampling and mitigation, where recorded.
+
+    When the sub-channel log is paired with externally recorded sampling
+    times (``(bank, row) -> time``), returns the per-row delay that
+    DREAM-R's delayed DRFM introduced.
+    """
+    if sampled_at is None:
+        return []
+    delays = []
+    for event in events:
+        for bank, row in event.mitigated_rows:
+            sample_time = sampled_at.get((bank, row))
+            if sample_time is not None and event.time_ps >= sample_time:
+                delays.append(event.time_ps - sample_time)
+    return delays

@@ -1,0 +1,79 @@
+"""Slowdown aggregation over workload sweeps.
+
+Experiments produce one :class:`~repro.sim.results.ComparisonResult` per
+(workload, design) pair; this module reduces them into the per-design
+series the paper plots (per-workload bars plus the arithmetic-mean bar
+the text quotes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.results import ComparisonResult
+
+
+@dataclass
+class SlowdownSeries:
+    """One design's slowdown across a set of workloads."""
+
+    design: str
+    slowdowns: dict[str, float] = field(default_factory=dict)
+    rlps: dict[str, float] = field(default_factory=dict)
+
+    def add(self, comparison: ComparisonResult) -> None:
+        """Record one workload's comparison."""
+        workload = comparison.mitigated.workload
+        self.slowdowns[workload] = comparison.slowdown_percent
+        self.rlps[workload] = comparison.average_rlp
+
+    @property
+    def average_slowdown(self) -> float:
+        """Arithmetic-mean slowdown (the paper's quoted averages)."""
+        if not self.slowdowns:
+            raise ValueError("series is empty")
+        return sum(self.slowdowns.values()) / len(self.slowdowns)
+
+    @property
+    def average_rlp(self) -> float:
+        """Mean realised RLP across workloads with mitigations."""
+        values = [value for value in self.rlps.values() if value > 0]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    @property
+    def worst_case(self) -> tuple[str, float]:
+        """The workload with the highest slowdown."""
+        if not self.slowdowns:
+            raise ValueError("series is empty")
+        workload = max(self.slowdowns, key=self.slowdowns.__getitem__)
+        return workload, self.slowdowns[workload]
+
+    def row(self, workloads: list[str]) -> list[float]:
+        """Slowdowns in a fixed workload order (for table rendering)."""
+        return [self.slowdowns[name] for name in workloads]
+
+
+def format_table(series_list: list[SlowdownSeries],
+                 workloads: list[str] | None = None) -> str:
+    """Render a figure-style table: workloads as rows, designs as columns."""
+    if not series_list:
+        raise ValueError("at least one series is required")
+    if workloads is None:
+        workloads = sorted(series_list[0].slowdowns)
+    header = ["workload"] + [series.design for series in series_list]
+    widths = [max(len(header[0]), max(len(w) for w in workloads))]
+    widths += [max(10, len(name)) for name in header[1:]]
+    lines = ["  ".join(name.ljust(width)
+                       for name, width in zip(header, widths))]
+    for workload in workloads:
+        cells = [workload.ljust(widths[0])]
+        for series, width in zip(series_list, widths[1:]):
+            cells.append(f"{series.slowdowns[workload]:.2f}%".rjust(width))
+        lines.append("  ".join(cells))
+    cells = ["AVERAGE".ljust(widths[0])]
+    for series, width in zip(series_list, widths[1:]):
+        cells.append(f"{series.average_slowdown:.2f}%".rjust(width))
+    lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Command-line entry point: ``dream-repro`` / ``python -m repro.cli``.
+
+Subcommands:
+
+* ``list`` — show the available experiments (one per paper table/figure).
+* ``run <names...>`` — run experiments and print their result tables
+  (``--full`` sweeps all 22 workloads; default is the quick subset).
+* ``storage <t_rh>`` — print the full-size storage comparison.
+* ``security <t_rh>`` — print the revised DREAM-R parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.security import revised_parameters
+from repro.core.storage import compare_storage
+from repro.experiments import registry
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in registry.names():
+        print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = args.experiments or registry.names()
+    for name in names:
+        runner = registry.get(name)
+        start = time.time()
+        result = runner(quick=not args.full, seed=args.seed)
+        if args.json:
+            print(result.to_json())
+        else:
+            print(result.render())
+            if args.chart:
+                from repro.analysis.charts import chart_result
+
+                chart = chart_result(result.rows)
+                if chart:
+                    print()
+                    print(chart)
+            print(f"[{name} finished in {time.time() - start:.1f}s]")
+            print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    names = args.experiments or registry.names()
+    sections = ["# DREAM reproduction report", ""]
+    for name in names:
+        runner = registry.get(name)
+        start = time.time()
+        result = runner(quick=not args.full, seed=args.seed)
+        sections.append(f"## {name}: {result.title}")
+        sections.append("")
+        sections.append("```")
+        sections.append(result.render())
+        sections.append("```")
+        sections.append(f"_regenerated in {time.time() - start:.1f}s_")
+        sections.append("")
+    report = "\n".join(sections)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_storage(args: argparse.Namespace) -> int:
+    comparison = compare_storage(args.t_rh)
+    print(f"T_RH = {comparison.t_rh}")
+    print(f"  DREAM-C : {comparison.dream_c_kb:8.2f} KB/bank")
+    print(f"  Graphene: {comparison.graphene_kb:8.2f} KB/bank "
+          f"({comparison.graphene_ratio:.1f}x DREAM-C)")
+    print(f"  ABACuS  : {comparison.abacus_kb:8.2f} KB/bank "
+          f"({comparison.abacus_ratio:.1f}x DREAM-C)")
+    return 0
+
+
+def _cmd_security(args: argparse.Namespace) -> int:
+    print(revised_parameters(args.t_rh).describe())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.deployment import plan_deployment
+
+    plan = plan_deployment(args.t_rh, args.budget)
+    print(plan.describe())
+    return 0 if plan.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="dream-repro",
+        description="DREAM (ISCA 2025) reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(
+        func=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser.add_argument("experiments", nargs="*",
+                            help="experiment names (default: all)")
+    run_parser.add_argument("--full", action="store_true",
+                            help="sweep all 22 workloads")
+    run_parser.add_argument("--seed", type=int, default=2025)
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit machine-readable JSON")
+    run_parser.add_argument("--chart", action="store_true",
+                            help="append a terminal bar chart")
+    run_parser.set_defaults(func=_cmd_run)
+
+    report_parser = sub.add_parser(
+        "report", help="run experiments and write a combined report")
+    report_parser.add_argument("experiments", nargs="*",
+                               help="experiment names (default: all)")
+    report_parser.add_argument("--full", action="store_true")
+    report_parser.add_argument("--seed", type=int, default=2025)
+    report_parser.add_argument("-o", "--output",
+                               help="write the report to a file")
+    report_parser.set_defaults(func=_cmd_report)
+
+    storage_parser = sub.add_parser("storage",
+                                    help="storage comparison at a threshold")
+    storage_parser.add_argument("t_rh", type=int)
+    storage_parser.set_defaults(func=_cmd_storage)
+
+    security_parser = sub.add_parser(
+        "security", help="revised DREAM-R parameters at a threshold")
+    security_parser.add_argument("t_rh", type=int)
+    security_parser.set_defaults(func=_cmd_security)
+
+    plan_parser = sub.add_parser(
+        "plan", help="recommend a deployment for a threshold and budget")
+    plan_parser.add_argument("t_rh", type=int)
+    plan_parser.add_argument("--budget", type=float, default=5.0,
+                             help="slowdown budget in percent")
+    plan_parser.set_defaults(func=_cmd_plan)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""DREAM: the paper's primary contribution.
+
+DREAM-R (delayed-DRFM for randomized trackers), DREAM-C (gang-tracking
+counters), ATM, RMAQ, the analytic security models and the storage
+calculators.
+"""
+
+from repro.core.atm import DEFAULT_ATM_THRESHOLD, ActiveTargetMonitor
+from repro.core.deployment import (DeploymentPlan, Design, Finding,
+                                   Severity, plan_deployment,
+                                   validate_deployment)
+from repro.core.dream_c import (DREAM_C_RMAQ_ENTRIES, DreamCPolicy,
+                                GangMapper, dream_c_factory)
+from repro.core.dream_r import (DreamRMintPolicy, DreamRParaPolicy,
+                                dream_r_mint_factory, dream_r_para_factory)
+from repro.core.rmaq import (MAX_ACTS_PER_TREFI, RATE_LIMIT_TREFI,
+                             RecentMitigationQueue, capacity_for_window)
+from repro.core.security import (PAPER_TABLE7_PENALTY, RevisedParameters,
+                                 dream_r_mint_threshold, gamma_tail,
+                                 mint_window_dream_r, mint_window_with_atm,
+                                 para_delay_failure_factor,
+                                 para_exponent_dream_r,
+                                 para_probability_dream_r,
+                                 para_probability_with_atm,
+                                 revised_parameters, rmaq_threshold_penalty)
+from repro.core.storage import (DreamCConfig, StorageComparison,
+                                compare_storage, dream_c_config,
+                                vertical_factor)
+
+__all__ = [
+    "ActiveTargetMonitor",
+    "DEFAULT_ATM_THRESHOLD",
+    "DREAM_C_RMAQ_ENTRIES",
+    "DeploymentPlan",
+    "Design",
+    "DreamCConfig",
+    "DreamCPolicy",
+    "DreamRMintPolicy",
+    "DreamRParaPolicy",
+    "Finding",
+    "GangMapper",
+    "MAX_ACTS_PER_TREFI",
+    "PAPER_TABLE7_PENALTY",
+    "RATE_LIMIT_TREFI",
+    "RecentMitigationQueue",
+    "RevisedParameters",
+    "Severity",
+    "StorageComparison",
+    "capacity_for_window",
+    "compare_storage",
+    "dream_c_config",
+    "dream_c_factory",
+    "dream_r_mint_factory",
+    "dream_r_mint_threshold",
+    "dream_r_para_factory",
+    "gamma_tail",
+    "mint_window_dream_r",
+    "mint_window_with_atm",
+    "para_delay_failure_factor",
+    "para_exponent_dream_r",
+    "para_probability_dream_r",
+    "para_probability_with_atm",
+    "plan_deployment",
+    "revised_parameters",
+    "rmaq_threshold_penalty",
+    "validate_deployment",
+    "vertical_factor",
+]

@@ -1,0 +1,227 @@
+"""Deployment planning: pick and sanity-check a mitigation configuration.
+
+A system vendor adopting DRFM-based mitigation has to choose a design
+point: which tracker, at which Rowhammer threshold, with what storage and
+what expected overhead class.  This module turns the paper's design
+space into a checkable plan:
+
+* :func:`plan_deployment` recommends a design for a target threshold
+  following the paper's guidance (randomized DREAM-R for thresholds the
+  slowdown budget tolerates; DREAM-C below that; explicit storage and
+  rate-limit hardware),
+* :func:`validate_deployment` audits any (design, threshold, knob)
+  combination and returns actionable findings instead of letting an
+  insecure or nonsensical configuration run silently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.atm import DEFAULT_ATM_THRESHOLD, ActiveTargetMonitor
+from repro.core.rmaq import capacity_for_window, storage_bits
+from repro.core.security import (mint_window_with_atm,
+                                 para_probability_with_atm,
+                                 rmaq_threshold_penalty)
+from repro.core.storage import BASE_GANG_THRESHOLD, dream_c_config
+from repro.trackers.mint import THRESHOLD_PER_WINDOW
+
+
+class Design(enum.Enum):
+    """Deployable mitigation designs."""
+
+    DREAM_R_PARA = "dream-r-para"
+    DREAM_R_MINT = "dream-r-mint"
+    DREAM_C = "dream-c"
+
+
+class Severity(enum.Enum):
+    """Finding severity."""
+
+    ERROR = "error"      # configuration is insecure or unbuildable
+    WARNING = "warning"  # works, but a better point exists
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One audit finding."""
+
+    severity: Severity
+    message: str
+
+
+@dataclass
+class DeploymentPlan:
+    """A validated design point with its derived parameters."""
+
+    design: Design
+    t_rh: int
+    parameters: dict = field(default_factory=dict)
+    sram_bytes_per_bank: float = 0.0
+    expected_overhead_class: str = ""
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the plan has no error-level findings."""
+        return not any(finding.severity is Severity.ERROR
+                       for finding in self.findings)
+
+    def describe(self) -> str:
+        """Multi-line human-readable plan summary."""
+        lines = [
+            f"design: {self.design.value} @ T_RH={self.t_rh}",
+            f"SRAM per bank: {self.sram_bytes_per_bank:.0f} bytes",
+            f"expected overhead: {self.expected_overhead_class}",
+        ]
+        for key, value in self.parameters.items():
+            lines.append(f"  {key} = {value}")
+        for finding in self.findings:
+            lines.append(f"[{finding.severity.value}] {finding.message}")
+        return "\n".join(lines)
+
+
+#: Paper-derived average slowdown classes for DREAM-R (MINT), Figure 10.
+_MINT_OVERHEAD_CLASSES = (
+    (4000, "~1% (negligible)"),
+    (2000, "~2% (low)"),
+    (1000, "~4% (low)"),
+    (500, "~8% (moderate)"),
+)
+
+
+def _overhead_class(t_rh: int) -> str:
+    for threshold, label in _MINT_OVERHEAD_CLASSES:
+        if t_rh >= threshold:
+            return label
+    return "high (prefer DREAM-C at this threshold)"
+
+
+def validate_deployment(design: Design, t_rh: int,
+                        atm_threshold: int = DEFAULT_ATM_THRESHOLD,
+                        rate_limited: bool = True) -> DeploymentPlan:
+    """Audit one design point; never raises for in-range but poor choices.
+
+    Returns a plan whose ``findings`` list errors (insecure /
+    unbuildable), warnings (works, better point exists) and notes.
+    """
+    plan = DeploymentPlan(design=design, t_rh=t_rh)
+    if t_rh < 1:
+        plan.findings.append(Finding(
+            Severity.ERROR, "T_RH must be positive"))
+        return plan
+
+    if design is Design.DREAM_C:
+        _validate_dream_c(plan, t_rh, rate_limited)
+    elif design is Design.DREAM_R_MINT:
+        _validate_mint(plan, t_rh, atm_threshold, rate_limited)
+    else:
+        _validate_para(plan, t_rh, atm_threshold, rate_limited)
+    return plan
+
+
+def _validate_dream_c(plan: DeploymentPlan, t_rh: int,
+                      rate_limited: bool) -> None:
+    if t_rh < BASE_GANG_THRESHOLD:
+        plan.findings.append(Finding(
+            Severity.ERROR,
+            f"DREAM-C configurations start at T_RH="
+            f"{BASE_GANG_THRESHOLD} (Table 6); below that no gang size "
+            "keeps the DRFMab rate acceptable"))
+        return
+    config = dream_c_config(t_rh)
+    plan.parameters = {
+        "gang_size": config.gang_size,
+        "vertical": config.vertical,
+        "dct_entries": config.dct_entries,
+        "tracker_threshold": config.tracker_threshold,
+        "drfmab_per_mitigation": config.drfms_per_mitigation,
+    }
+    plan.sram_bytes_per_bank = config.sram_kb_per_bank() * 1024
+    plan.expected_overhead_class = (
+        "~8% at 125, ~5% at 250, ~3% at 500, <1% at 1000 (Fig 15/17)")
+    if config.drfms_per_mitigation > 8:
+        plan.findings.append(Finding(
+            Severity.WARNING,
+            f"{config.drfms_per_mitigation} back-to-back DRFMab per "
+            "mitigation; consider capping vertical sharing"))
+    if not rate_limited:
+        plan.findings.append(Finding(
+            Severity.WARNING,
+            "JEDEC rate limit not enforced; add the 18-entry "
+            "sub-channel RMAQ (45 bytes) for spec compliance"))
+
+
+def _validate_mint(plan: DeploymentPlan, t_rh: int, atm_threshold: int,
+                   rate_limited: bool) -> None:
+    if t_rh < THRESHOLD_PER_WINDOW + atm_threshold // 2:
+        plan.findings.append(Finding(
+            Severity.ERROR,
+            f"T_RH={t_rh} is below what MINT+ATM can tolerate; "
+            "use DREAM-C"))
+        return
+    window = mint_window_with_atm(t_rh, atm_threshold)
+    plan.parameters = {"window": window, "atm_threshold": atm_threshold}
+    plan.sram_bytes_per_bank = (
+        ActiveTargetMonitor.storage_bits_per_bank(
+            threshold=atm_threshold) / 8.0)
+    plan.expected_overhead_class = _overhead_class(t_rh)
+    if rate_limited:
+        capacity = capacity_for_window(window)
+        penalty = rmaq_threshold_penalty(window)
+        plan.parameters["rmaq_entries"] = capacity
+        plan.sram_bytes_per_bank += storage_bits(capacity) / 8.0
+        if penalty:
+            plan.findings.append(Finding(
+                Severity.WARNING,
+                f"RMAQ filtering raises the tolerated threshold by "
+                f"~{penalty}; provision T_RH margin or enlarge the "
+                "window"))
+    if t_rh < 500:
+        plan.findings.append(Finding(
+            Severity.WARNING,
+            "below T_RH=500 DREAM-C has lower overhead than DREAM-R "
+            "(Figure 19)"))
+
+
+def _validate_para(plan: DeploymentPlan, t_rh: int, atm_threshold: int,
+                   rate_limited: bool) -> None:
+    try:
+        probability = para_probability_with_atm(t_rh, atm_threshold)
+    except ValueError as error:
+        plan.findings.append(Finding(Severity.ERROR, str(error)))
+        return
+    plan.parameters = {"probability": probability,
+                       "atm_threshold": atm_threshold}
+    plan.sram_bytes_per_bank = (
+        ActiveTargetMonitor.storage_bits_per_bank(
+            threshold=atm_threshold) / 8.0)
+    plan.expected_overhead_class = _overhead_class(t_rh) + \
+        " (PARA runs ~2x MINT's overhead, Fig 10)"
+    plan.findings.append(Finding(
+        Severity.INFO,
+        "MINT-based DREAM-R has lower slowdown and simpler rate-limit "
+        "hardware than PARA-based (Section 6.1 footnote)"))
+    if rate_limited:
+        plan.findings.append(Finding(
+            Severity.WARNING,
+            "rate-limit tracking for PARA needs tens of RMAQ entries "
+            "(many samples per 2*tREFI); prefer DREAM-R (MINT)"))
+
+
+def plan_deployment(t_rh: int,
+                    slowdown_budget_percent: float = 5.0) -> DeploymentPlan:
+    """Recommend a design point for a target threshold and budget.
+
+    Follows the paper's guidance: DREAM-R (MINT) wherever its expected
+    overhead fits the budget (negligible SRAM); DREAM-C below that
+    (1-3 KB/bank SRAM, near-zero slowdown at moderate thresholds).
+    """
+    mint_overhead = {4000: 1.1, 2000: 2.1, 1000: 4.2, 500: 8.4}
+    fits = any(t_rh >= threshold and overhead <= slowdown_budget_percent
+               for threshold, overhead in mint_overhead.items())
+    if fits:
+        return validate_deployment(Design.DREAM_R_MINT, t_rh)
+    return validate_deployment(Design.DREAM_C, t_rh)

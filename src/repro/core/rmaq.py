@@ -1,0 +1,100 @@
+"""Recent-Mitigated-Address-Queue (RMAQ, Section 6).
+
+JEDEC's DRFM specification rate-limits mitigation: a row may receive a
+victim refresh at most once per 2*tREFI (bounding transitive /
+Half-Double style attacks through the victim rows).  DREAM honours the
+limit with a small FIFO per bank (per sub-channel for DREAM-C, keyed by
+GroupID): every sampled address is inserted with a tREFI epoch tag, a
+selection that hits a live entry is *skipped*, and entries older than two
+tREFI expire.
+
+Capacity follows the paper: with at most 75 activations per tREFI, a
+MINT window of ``W`` can select a given bank's rows at most
+``ceil(150 / W)`` times in two tREFI, so that many entries suffice
+(6 / 3 / 2 entries for W = 25 / 50 / 100; 5-15 bytes of SRAM per bank).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+#: Maximum activations one bank can receive per tREFI (paper, Section 6.1).
+MAX_ACTS_PER_TREFI = 75
+
+#: Rate-limit horizon in tREFI units (one mitigation per 2*tREFI).
+RATE_LIMIT_TREFI = 2
+
+#: Bits per RMAQ entry: 17-bit row + 2-bit tREFI id + valid (Section 6.1).
+ENTRY_BITS = 20
+
+
+def capacity_for_window(window: int) -> int:
+    """RMAQ entries needed for a MINT window of ``window`` activations."""
+    if window < 1:
+        raise ValueError("window must be positive")
+    return max(1, math.ceil(
+        RATE_LIMIT_TREFI * MAX_ACTS_PER_TREFI / window))
+
+
+def storage_bits(capacity: int) -> int:
+    """Total SRAM bits of one RMAQ (``capacity`` x 20-bit entries)."""
+    return capacity * ENTRY_BITS
+
+
+class RecentMitigationQueue:
+    """FIFO of recently sampled/mitigated addresses with tREFI aging.
+
+    Addresses are opaque integers: row IDs for DREAM-R, group IDs for
+    DREAM-C.  Entries expire once the current tREFI epoch is more than
+    :data:`RATE_LIMIT_TREFI` past their insertion epoch.
+    """
+
+    def __init__(self, capacity: int, t_refi_ps: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if t_refi_ps < 1:
+            raise ValueError("t_refi_ps must be positive")
+        self.capacity = capacity
+        self.t_refi_ps = t_refi_ps
+        self._entries: deque[tuple[int, int]] = deque()  # (address, epoch)
+        self.hits = 0
+
+    def _epoch(self, now_ps: int) -> int:
+        return now_ps // self.t_refi_ps
+
+    def _expire(self, now_ps: int) -> None:
+        horizon = self._epoch(now_ps) - RATE_LIMIT_TREFI
+        while self._entries and self._entries[0][1] < horizon:
+            self._entries.popleft()
+
+    def insert(self, address: int, now_ps: int) -> None:
+        """Record a sampled/mitigated address (refreshing its epoch).
+
+        An address already in the queue is moved to the tail with the new
+        epoch rather than duplicated, so capacity counts distinct
+        addresses; the oldest entry drops if the queue is full.
+        """
+        self._expire(now_ps)
+        for entry in list(self._entries):
+            if entry[0] == address:
+                self._entries.remove(entry)
+                break
+        if len(self._entries) >= self.capacity:
+            self._entries.popleft()
+        self._entries.append((address, self._epoch(now_ps)))
+
+    def contains(self, address: int, now_ps: int) -> bool:
+        """Whether ``address`` was sampled within the last two tREFI."""
+        self._expire(now_ps)
+        found = any(entry == address for entry, _ in self._entries)
+        if found:
+            self.hits += 1
+        return found
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def storage_bits(self) -> int:
+        """SRAM bits of this queue."""
+        return storage_bits(self.capacity)

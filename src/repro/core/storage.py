@@ -1,0 +1,173 @@
+"""Storage accounting: DREAM-C configurations (Table 6) and comparisons.
+
+DREAM-C's storage win comes from sharing one counter across a *gang* of
+rows that a DRFMab (or several back-to-back DRFMabs) can mitigate
+together.  With vertical sharing the gang holds ``V`` rows from each of
+the 32 banks (gang size 32V), the DREAM-Counter-Table shrinks to
+``rows_per_bank / V`` entries, and one mitigation issues ``V`` DRFMab
+commands.  The paper's Table 6:
+
+=====  =========  ==========  =============  =============
+T_RH   gang size  # DRFMab    DREAM-C SRAM   Graphene CAM
+125    32         1           3 KB/bank      29.3 KB/bank
+250    64         2           1.75 KB/bank   15.2 KB/bank
+500    128        4           1 KB/bank      7.9 KB/bank
+1000   256        8           0.56 KB/bank   4.1 KB/bank
+=====  =========  ==========  =============  =============
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.trackers import abacus, graphene
+from repro.trackers.base import tracker_threshold
+
+#: Rows per bank at full system size (Table 2).
+FULL_SIZE_ROWS_PER_BANK = 128 * 1024
+
+#: Banks per sub-channel (DDR5).
+SUBCHANNEL_BANKS = 32
+
+#: Row-address width (128K rows).
+ROW_ADDRESS_BITS = 17
+
+#: Baseline T_RH at which a plain 32-row gang suffices (Table 6 row 1).
+BASE_GANG_THRESHOLD = 125
+
+
+def vertical_factor(t_rh: int) -> int:
+    """Rows per bank sharing one counter (the paper's Table 6 scaling).
+
+    Doubles each time the threshold doubles above 125 — a gang of 32V
+    rows needs V DRFMab commands per mitigation, which stays affordable
+    because mitigations get rarer as the threshold rises.
+    """
+    if t_rh < BASE_GANG_THRESHOLD:
+        raise ValueError(
+            f"DREAM-C configurations start at T_RH={BASE_GANG_THRESHOLD}")
+    return max(1, t_rh // BASE_GANG_THRESHOLD)
+
+
+def counter_bits(t_rh: int) -> int:
+    """Bits per DCT counter (counts to the tracker threshold)."""
+    return max(1, math.ceil(math.log2(tracker_threshold(t_rh) + 1)))
+
+
+@dataclass(frozen=True)
+class DreamCConfig:
+    """A DREAM-C configuration: one row of the paper's Table 6.
+
+    Attributes
+    ----------
+    t_rh:
+        Target Rowhammer threshold.
+    vertical:
+        Rows per bank sharing a counter (V); gang size is ``32 * V``.
+    dct_entries:
+        Entries in the DREAM-Counter-Table (``rows_per_bank / V``).
+    rows_per_bank / num_banks:
+        System shape the config was computed for.
+    """
+
+    t_rh: int
+    vertical: int
+    dct_entries: int
+    rows_per_bank: int = FULL_SIZE_ROWS_PER_BANK
+    num_banks: int = SUBCHANNEL_BANKS
+
+    @property
+    def gang_size(self) -> int:
+        """Rows sharing one counter (Table 6 'Gang Size')."""
+        return self.num_banks * self.vertical
+
+    @property
+    def drfms_per_mitigation(self) -> int:
+        """Back-to-back DRFMab commands per mitigation (Table 6)."""
+        return self.vertical
+
+    @property
+    def tracker_threshold(self) -> int:
+        """DCT trigger threshold (T_RH / 2)."""
+        return tracker_threshold(self.t_rh)
+
+    @property
+    def counter_bits(self) -> int:
+        """Bits per DCT counter."""
+        return counter_bits(self.t_rh)
+
+    def dct_bits(self) -> int:
+        """Total DCT bits per sub-channel."""
+        return self.dct_entries * self.counter_bits
+
+    def mask_bits(self) -> int:
+        """Random-mask SRAM per sub-channel (32V masks of 17 bits)."""
+        return self.num_banks * self.vertical * ROW_ADDRESS_BITS
+
+    def sram_kb_per_bank(self) -> float:
+        """DCT SRAM per bank in KiB (Table 6 'DREAM-C (SRAM/Bank)')."""
+        return self.dct_bits() / 8.0 / 1024.0 / self.num_banks
+
+    def sram_kb_per_subchannel(self) -> float:
+        """DCT SRAM per sub-channel in KiB."""
+        return self.dct_bits() / 8.0 / 1024.0
+
+
+def dream_c_config(t_rh: int,
+                   rows_per_bank: int = FULL_SIZE_ROWS_PER_BANK,
+                   num_banks: int = SUBCHANNEL_BANKS,
+                   storage_multiplier: int = 1,
+                   vertical: int | None = None) -> DreamCConfig:
+    """Build the Table 6 configuration for ``t_rh``.
+
+    ``storage_multiplier`` scales the number of DCT entries (the paper's
+    "DREAM-C (2x storage)" variants in Figure 17 and Appendix C).
+    ``vertical`` overrides the Table 6 vertical-sharing factor for
+    design-space exploration (gang size = 32 * vertical).
+    """
+    if vertical is None:
+        vertical = vertical_factor(t_rh)
+    elif vertical < 1:
+        raise ValueError("vertical must be positive")
+    entries = (rows_per_bank // vertical) * storage_multiplier
+    if entries < 1:
+        raise ValueError("configuration yields an empty DCT")
+    return DreamCConfig(
+        t_rh=t_rh,
+        vertical=vertical,
+        dct_entries=entries,
+        rows_per_bank=rows_per_bank,
+        num_banks=num_banks,
+    )
+
+
+@dataclass(frozen=True)
+class StorageComparison:
+    """Storage of every tracker at one threshold (KB per bank)."""
+
+    t_rh: int
+    dream_c_kb: float
+    graphene_kb: float
+    abacus_kb: float
+
+    @property
+    def graphene_ratio(self) -> float:
+        """Graphene storage over DREAM-C (the paper's headline 8x)."""
+        return self.graphene_kb / self.dream_c_kb
+
+    @property
+    def abacus_ratio(self) -> float:
+        """ABACuS storage over DREAM-C (the paper's 6.3x at T=125)."""
+        return self.abacus_kb / self.dream_c_kb
+
+
+def compare_storage(t_rh: int) -> StorageComparison:
+    """Full-size storage comparison at ``t_rh`` (Tables 1/6, Figure 17)."""
+    config = dream_c_config(t_rh)
+    return StorageComparison(
+        t_rh=t_rh,
+        dream_c_kb=config.sram_kb_per_bank(),
+        graphene_kb=graphene.storage_kb_per_bank(t_rh),
+        abacus_kb=abacus.storage_kb_per_bank(t_rh),
+    )

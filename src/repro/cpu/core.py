@@ -1,0 +1,94 @@
+"""Closed-loop core model.
+
+Each core is modelled as ``mlp`` independent outstanding-miss slots (the
+memory-level parallelism a 256-entry ROB sustains).  Every slot cycles:
+
+    think (gap from the trace)  ->  memory service  ->  think  ->  ...
+
+This closed-loop structure is what turns bank blocking into core slowdown:
+when a mitigation command stalls a bank, the slots whose requests target
+that bank wait, the core's request rate drops, and — because requests
+spread over all banks — blocking even one bank eventually captures all of
+a core's slots.  That is exactly the effect behind the paper's NRR vs
+DRFMsb staggering discussion (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.trace import MemoryTrace
+
+
+@dataclass
+class Request:
+    """One in-flight memory request."""
+
+    core: int
+    slot: int
+    index: int
+    subchannel: int
+    bank: int
+    row: int
+
+
+class Core:
+    """One core executing a (wrapping) LLC-miss trace.
+
+    Parameters
+    ----------
+    core_id:
+        Index of the core.
+    trace:
+        The request stream; it wraps around if the budget exceeds its
+        length.
+    budget:
+        Number of requests the core must complete for the run to end.
+    mlp:
+        Outstanding-miss slots.
+    """
+
+    def __init__(self, core_id: int, trace: MemoryTrace, budget: int,
+                 mlp: int) -> None:
+        if budget < 1:
+            raise ValueError("budget must be positive")
+        if mlp < 1:
+            raise ValueError("mlp must be positive")
+        self.core_id = core_id
+        self.trace = trace
+        self.budget = budget
+        self.mlp = mlp
+        self.issued = 0
+        self.completed = 0
+        self.finish_time_ps: int | None = None
+        self._length = len(trace)
+
+    def fetch(self, slot: int) -> tuple[Request, int] | None:
+        """Fetch the next request for ``slot``, or ``None`` when exhausted.
+
+        Returns the request plus its think gap in picoseconds.
+        """
+        if self.issued >= self.budget:
+            return None
+        index = self.issued % self._length
+        self.issued += 1
+        request = Request(
+            core=self.core_id,
+            slot=slot,
+            index=index,
+            subchannel=int(self.trace.subchannel[index]),
+            bank=int(self.trace.bank[index]),
+            row=int(self.trace.row[index]),
+        )
+        return request, int(self.trace.gap_ps[index])
+
+    def complete(self, finish_ps: int) -> None:
+        """Record a request completion at ``finish_ps``."""
+        self.completed += 1
+        if self.completed >= self.budget:
+            self.finish_time_ps = finish_ps
+
+    @property
+    def done(self) -> bool:
+        """Whether the core has completed its full budget."""
+        return self.completed >= self.budget

@@ -1,0 +1,57 @@
+"""Performance metrics: weighted speedup and normalized slowdown.
+
+The paper reports *weighted speedup* for 8-core rate-mode runs and quotes
+mitigation overheads as percentage slowdown versus an unprotected
+baseline.  With a closed-loop simulator and a fixed request budget per
+core, a core's performance is the inverse of its completion time, so the
+metrics reduce to ratios of per-core finish times.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def weighted_speedup(baseline_times_ps: Sequence[int],
+                     times_ps: Sequence[int]) -> float:
+    """Weighted speedup of a run versus its unprotected baseline.
+
+    Each core's speedup is ``baseline_time / time`` (both cores complete
+    the same request budget); the weighted speedup is their sum.  An
+    unprotected run scores exactly ``num_cores``.
+    """
+    if len(baseline_times_ps) != len(times_ps):
+        raise ValueError("core counts differ between runs")
+    if not baseline_times_ps:
+        raise ValueError("at least one core is required")
+    return sum(base / other
+               for base, other in zip(baseline_times_ps, times_ps))
+
+
+def normalized_performance(baseline_times_ps: Sequence[int],
+                           times_ps: Sequence[int]) -> float:
+    """Weighted speedup normalized to the core count (1.0 = no slowdown)."""
+    return weighted_speedup(baseline_times_ps, times_ps) / len(times_ps)
+
+
+def slowdown_percent(baseline_times_ps: Sequence[int],
+                     times_ps: Sequence[int]) -> float:
+    """Percentage slowdown versus the baseline (paper's headline metric).
+
+    Defined as ``(1 - normalized weighted speedup) * 100`` so that a run
+    identical to the baseline reports 0% and a run at half speed reports
+    50%.
+    """
+    return (1.0 - normalized_performance(baseline_times_ps, times_ps)) * 100.0
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ValueError("at least one value is required")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))

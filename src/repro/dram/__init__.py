@@ -1,0 +1,44 @@
+"""DDR5 DRAM substrate: timings, banks, DRFM, refresh, address mapping."""
+
+from repro.dram.address import (LINE_BYTES, MOP_CHUNK_LINES, PAGE_LINES,
+                                MOPMapper, PhysicalLocation)
+from repro.dram.bank import Bank, BankStats, DARRegister
+from repro.dram.commands import (MITIGATING, ROW_CLOSING, Command,
+                                 IssuedCommand, blocking_banks)
+from repro.dram.device import FULL_SIZE_ROWS_PER_BANK, Device, Organization
+from repro.dram.disturbance import (BitFlip, DisturbanceConfig,
+                                    DisturbanceModel, RefreshMode)
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.subchannel import MitigationEvent, SubChannel, SubChannelStats
+from repro.dram.timing import JEDEC_REFS_PER_WINDOW, PS_PER_NS, DDR5Timing, ns
+
+__all__ = [
+    "Bank",
+    "BankStats",
+    "BitFlip",
+    "Command",
+    "DARRegister",
+    "DDR5Timing",
+    "Device",
+    "DisturbanceConfig",
+    "DisturbanceModel",
+    "FULL_SIZE_ROWS_PER_BANK",
+    "IssuedCommand",
+    "JEDEC_REFS_PER_WINDOW",
+    "LINE_BYTES",
+    "MITIGATING",
+    "MOPMapper",
+    "MOP_CHUNK_LINES",
+    "MitigationEvent",
+    "Organization",
+    "PAGE_LINES",
+    "PS_PER_NS",
+    "PhysicalLocation",
+    "ROW_CLOSING",
+    "RefreshMode",
+    "RefreshScheduler",
+    "SubChannel",
+    "SubChannelStats",
+    "blocking_banks",
+    "ns",
+]

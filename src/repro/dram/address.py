@@ -1,0 +1,137 @@
+"""Physical address mapping (Minimalist Open Page, MOP4).
+
+The paper uses the MOP4 mapping [Kaseridis+, MICRO'11]: each 4 KB OS page
+is striped across banks in chunks of four consecutive 64-byte cache lines,
+so a page touches 16 banks and an access stream with page locality spreads
+across banks while keeping short row-buffer bursts.
+
+Crucially for this paper, MOP maps a given page region to the **same RowID
+in every bank** — which is why set-associative grouping (and ABACuS's
+shared per-RowID counters) see hot counters for hot pages, and why
+DREAM-C's randomized grouping deliberately breaks that correlation with
+per-bank XOR masks.
+
+The mapper works on 64-byte line addresses.  Bit layout from LSB:
+
+``[line-in-MOP-chunk] [subchannel] [bank] [column-high] [row]``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.device import Organization
+
+#: Cache-line size in bytes (fixed by the baseline system).
+LINE_BYTES = 64
+
+#: Lines per MOP chunk (MOP4).
+MOP_CHUNK_LINES = 4
+
+#: Lines in a 4 KB OS page.
+PAGE_LINES = 4096 // LINE_BYTES
+
+
+@dataclass(frozen=True)
+class PhysicalLocation:
+    """A decoded DRAM coordinate for one cache line."""
+
+    subchannel: int
+    bank: int
+    row: int
+    col: int
+
+
+class MOPMapper:
+    """MOP4 line-address to DRAM-coordinate mapper.
+
+    Parameters
+    ----------
+    organization:
+        Shape of the memory system being mapped.
+    chunk_lines:
+        Consecutive lines per bank before moving to the next bank
+        (4 for MOP4).
+    """
+
+    def __init__(self, organization: Organization,
+                 chunk_lines: int = MOP_CHUNK_LINES) -> None:
+        if chunk_lines < 1:
+            raise ValueError("chunk_lines must be positive")
+        if organization.cols_per_row % chunk_lines:
+            raise ValueError("cols_per_row must be a multiple of chunk_lines")
+        self.organization = organization
+        self.chunk_lines = chunk_lines
+        self._fanout = organization.subchannels * organization.banks
+        self._chunks_per_row = organization.cols_per_row // chunk_lines
+
+    # ------------------------------------------------------------------
+    @property
+    def lines_per_row_stripe(self) -> int:
+        """Lines covered by one RowID across all banks and sub-channels."""
+        return self.organization.cols_per_row * self._fanout
+
+    @property
+    def total_lines(self) -> int:
+        """Total mappable lines in the device."""
+        return self.organization.total_rows * self.organization.cols_per_row
+
+    def map_line(self, line: int) -> PhysicalLocation:
+        """Decode a 64-byte line address into DRAM coordinates."""
+        if line < 0:
+            raise ValueError("line address must be non-negative")
+        offset = line % self.chunk_lines
+        chunk = line // self.chunk_lines
+        fan = chunk % self._fanout
+        subchannel = fan % self.organization.subchannels
+        bank = fan // self.organization.subchannels
+        remaining = chunk // self._fanout
+        col_high = remaining % self._chunks_per_row
+        row = (remaining // self._chunks_per_row) % \
+            self.organization.rows_per_bank
+        return PhysicalLocation(
+            subchannel=subchannel,
+            bank=bank,
+            row=row,
+            col=col_high * self.chunk_lines + offset,
+        )
+
+    def map_address(self, byte_address: int) -> PhysicalLocation:
+        """Decode a byte address (convenience wrapper)."""
+        return self.map_line(byte_address // LINE_BYTES)
+
+    def line_of(self, location: PhysicalLocation) -> int:
+        """Inverse mapping: DRAM coordinates back to a line address."""
+        org = self.organization
+        if not (0 <= location.subchannel < org.subchannels
+                and 0 <= location.bank < org.banks
+                and 0 <= location.row < org.rows_per_bank
+                and 0 <= location.col < org.cols_per_row):
+            raise ValueError(f"location out of range: {location}")
+        offset = location.col % self.chunk_lines
+        col_high = location.col // self.chunk_lines
+        fan = location.bank * org.subchannels + location.subchannel
+        chunk = ((location.row * self._chunks_per_row + col_high)
+                 * self._fanout + fan)
+        return chunk * self.chunk_lines + offset
+
+    # ------------------------------------------------------------------
+    # Page-level helpers used by the workload generators
+    # ------------------------------------------------------------------
+    def page_first_line(self, page: int) -> int:
+        """First line address of 4 KB OS page ``page``."""
+        return page * PAGE_LINES
+
+    def banks_of_page(self, page: int) -> set[tuple[int, int]]:
+        """The (subchannel, bank) pairs a 4 KB page is striped over."""
+        first = self.page_first_line(page)
+        pairs = set()
+        for i in range(0, PAGE_LINES, self.chunk_lines):
+            loc = self.map_line(first + i)
+            pairs.add((loc.subchannel, loc.bank))
+        return pairs
+
+    def rows_of_page(self, page: int) -> set[int]:
+        """The distinct RowIDs a 4 KB page maps to (MOP: usually one)."""
+        first = self.page_first_line(page)
+        return {self.map_line(first + i).row for i in range(PAGE_LINES)}

@@ -1,0 +1,189 @@
+"""Victim-row disturbance model: from activations to bit flips.
+
+The paper's threat model (Section 2.1) declares an attack successful if
+any row receives more than ``T_RH`` activations *without being refreshed
+or mitigated*.  This module models that end to end:
+
+* every ACT of row ``r`` disturbs its physical neighbours — ``r±1`` at
+  full strength and, for Half-Double-style transitive effects, ``r±2`` at
+  a reduced ``distance-2 weight`` (Section 6 background);
+* a **victim refresh** (from NRR/DRFM mitigation of an aggressor, or the
+  row's periodic REF) restores the victim's charge, resetting its
+  accumulated disturbance;
+* a row whose accumulated disturbance crosses the device's threshold
+  suffers a *bit flip*.
+
+Two victim-refresh flavours model the JEDEC discussion of Section 6:
+
+* **Bounded-Refresh** — a mitigation refreshes the immediate neighbours
+  (r±1) always and the distance-2 neighbours only with probability
+  ``p2`` (this is why mitigations themselves disturb further rows, and
+  why JEDEC rate-limits DRFM);
+* **Fractal Mitigation** [AutoRFM, HPCA'25] — refreshes neighbours at
+  every distance ``d`` with probability ``p^(d-1)``, which bounds the
+  transitive amplification and obviates the rate limit (Section 6.4).
+
+The model is per-bank and purely additive, so it can shadow any
+simulation: feed it the ACT stream and the mitigation events, then ask
+for flips.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Disturbance contributed to a distance-2 neighbour per ACT, as a
+#: fraction of the distance-1 disturbance (Half-Double measurements put
+#: it well under 1/10th).
+DISTANCE2_WEIGHT = 0.05
+
+
+class RefreshMode(enum.Enum):
+    """Victim-refresh flavour used by mitigations."""
+
+    #: Always refresh r+-1; refresh r+-2 with probability ``p2``.
+    BOUNDED = "bounded"
+    #: Refresh distance d with probability ``p ** (d - 1)`` (Fractal).
+    FRACTAL = "fractal"
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """One Rowhammer failure: a victim row crossed the threshold."""
+
+    bank: int
+    row: int
+    time_ps: int
+    disturbance: float
+
+
+@dataclass
+class DisturbanceConfig:
+    """Parameters of the disturbance model.
+
+    Attributes
+    ----------
+    t_rh:
+        Device threshold: accumulated (weighted) activations at which a
+        victim flips.  This is the *single-sided* budget per aggressor;
+        double-sided attacks split it across two neighbours, matching
+        the paper's double-sided T_RH = single-sided / 2 convention.
+    mode:
+        Victim-refresh flavour.
+    p2:
+        Bounded mode: probability a mitigation refreshes the distance-2
+        neighbours.
+    fractal_p:
+        Fractal mode: per-distance decay probability.
+    max_distance:
+        Furthest neighbour modelled.
+    """
+
+    t_rh: int = 4000
+    mode: RefreshMode = RefreshMode.BOUNDED
+    p2: float = 0.5
+    fractal_p: float = 0.5
+    max_distance: int = 2
+
+
+class DisturbanceModel:
+    """Tracks per-row disturbance and detects bit flips.
+
+    Rows are identified as ``(bank, row)``; the model is topology-aware
+    only in the row index (physically adjacent rows are adjacent indices
+    — adequate because the paper's analyses are per-bank).
+    """
+
+    def __init__(self, config: DisturbanceConfig, rows_per_bank: int,
+                 seed: int = 0) -> None:
+        if config.t_rh < 1:
+            raise ValueError("t_rh must be positive")
+        if not 0.0 <= config.p2 <= 1.0:
+            raise ValueError("p2 must be a probability")
+        self.config = config
+        self.rows_per_bank = rows_per_bank
+        self._charge: dict[tuple[int, int], float] = {}
+        self._rng = np.random.default_rng(seed)
+        self.flips: list[BitFlip] = []
+        self.victim_refreshes = 0
+
+    # ------------------------------------------------------------------
+    def _disturb(self, bank: int, row: int, amount: float,
+                 now_ps: int) -> None:
+        if not 0 <= row < self.rows_per_bank:
+            return
+        key = (bank, row)
+        value = self._charge.get(key, 0.0) + amount
+        self._charge[key] = value
+        if value >= self.config.t_rh:
+            self.flips.append(BitFlip(bank=bank, row=row, time_ps=now_ps,
+                                      disturbance=value))
+            # The cell flipped; further counting restarts (the flip is
+            # recorded — one event per crossing).
+            self._charge[key] = 0.0
+
+    def on_activation(self, bank: int, row: int, now_ps: int) -> None:
+        """Record one aggressor activation: disturb the neighbours."""
+        self._disturb(bank, row - 1, 1.0, now_ps)
+        self._disturb(bank, row + 1, 1.0, now_ps)
+        if self.config.max_distance >= 2:
+            self._disturb(bank, row - 2, DISTANCE2_WEIGHT, now_ps)
+            self._disturb(bank, row + 2, DISTANCE2_WEIGHT, now_ps)
+
+    # ------------------------------------------------------------------
+    def _refresh_row(self, bank: int, row: int) -> None:
+        if 0 <= row < self.rows_per_bank:
+            self._charge.pop((bank, row), None)
+            self.victim_refreshes += 1
+
+    def on_mitigation(self, bank: int, row: int, now_ps: int) -> None:
+        """Apply a victim refresh for mitigated aggressor ``row``.
+
+        The refreshed victims are themselves *activated* internally,
+        which disturbs *their* neighbours — the transitive effect that
+        motivates the DRFM rate limit.  Bounded-Refresh covers distance
+        2 only probabilistically; Fractal covers each distance ``d``
+        with probability ``p^(d-1)``.
+        """
+        config = self.config
+        for side in (-1, 1):
+            victim = row + side
+            self._refresh_row(bank, victim)
+            # The victim refresh re-activates the victim row: its own
+            # neighbours (distance 2 from the aggressor) get disturbed.
+            self._disturb(bank, victim + side, 1.0, now_ps)
+            if config.mode is RefreshMode.BOUNDED:
+                if self._rng.random() < config.p2:
+                    self._refresh_row(bank, row + 2 * side)
+            else:
+                distance = 2
+                probability = config.fractal_p
+                while distance <= max(config.max_distance, 2):
+                    if self._rng.random() < probability:
+                        self._refresh_row(bank, row + distance * side)
+                    distance += 1
+                    probability *= config.fractal_p
+
+    def on_periodic_refresh(self, bank: int, first_row: int,
+                            count: int) -> None:
+        """Periodic REF covering ``count`` rows starting at ``first_row``."""
+        for row in range(first_row, min(first_row + count,
+                                        self.rows_per_bank)):
+            self._charge.pop((bank, row), None)
+
+    # ------------------------------------------------------------------
+    def charge(self, bank: int, row: int) -> float:
+        """Current accumulated disturbance of a row."""
+        return self._charge.get((bank, row), 0.0)
+
+    def max_charge(self) -> float:
+        """Highest live disturbance across all rows."""
+        return max(self._charge.values(), default=0.0)
+
+    @property
+    def flipped(self) -> bool:
+        """Whether any bit flip occurred."""
+        return bool(self.flips)

@@ -1,0 +1,69 @@
+"""Periodic refresh (REF) scheduling.
+
+A REF command is issued on each sub-channel every tREFI and blocks all of
+its banks for tRFC.  ``refs_per_window`` REF commands make up one refresh
+window (tREFW), after which every row has been refreshed once.
+
+The scheduler exposes per-REF callbacks because several mechanisms in the
+paper piggyback on the REF cadence:
+
+* DREAM-C resets a slice of its counter table at every REF (staggered
+  reset, Section 5.4).
+* RMAQ entries expire after two tREFI (Section 6.1).
+* The DRFM rate limit itself is defined in units of tREFI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dram.subchannel import SubChannel
+from repro.dram.timing import DDR5Timing
+
+RefCallback = Callable[[int, int], None]
+"""Callback invoked as ``callback(ref_index, time_ps)`` on each REF."""
+
+
+class RefreshScheduler:
+    """Issues REF commands lazily as simulated time advances.
+
+    The memory controller calls :meth:`advance` before servicing each
+    request; any REF whose tREFI deadline has passed is executed first.
+    This lazy approach keeps the hot path free of timer events while
+    producing exactly one REF per tREFI per sub-channel.
+    """
+
+    def __init__(self, timing: DDR5Timing, subchannel: SubChannel) -> None:
+        self.timing = timing
+        self.subchannel = subchannel
+        self.next_ref_ps = timing.t_refi
+        self.ref_index = 0
+        self._callbacks: list[RefCallback] = []
+
+    def on_ref(self, callback: RefCallback) -> None:
+        """Register a callback fired after every REF."""
+        self._callbacks.append(callback)
+
+    def advance(self, now_ps: int) -> None:
+        """Issue every REF due at or before ``now_ps``."""
+        while self.next_ref_ps <= now_ps:
+            self.subchannel.refresh(self.next_ref_ps)
+            for callback in self._callbacks:
+                callback(self.ref_index, self.next_ref_ps)
+            self.ref_index += 1
+            self.next_ref_ps += self.timing.t_refi
+
+    @property
+    def window_position(self) -> int:
+        """Index of the current REF within its refresh window."""
+        return self.ref_index % self.timing.refs_per_window
+
+    @property
+    def windows_completed(self) -> int:
+        """Number of whole refresh windows completed so far."""
+        return self.ref_index // self.timing.refs_per_window
+
+    def rows_per_ref(self, rows_per_bank: int) -> int:
+        """Rows each REF covers for a bank with ``rows_per_bank`` rows."""
+        refs = self.timing.refs_per_window
+        return max(1, rows_per_bank // refs)

@@ -1,0 +1,167 @@
+"""DDR5 timing parameters for the DREAM reproduction.
+
+All times are expressed in integer **picoseconds** so that event ordering in
+the discrete-event engine is exact (no floating-point time anywhere in the
+simulator).  The values of :func:`DDR5Timing.jedec` mirror Table 2 of the
+paper:
+
+======================  =======================================
+tRCD / tRP / tRC        14 ns / 14 ns / 46 ns
+tDRFMsb / tDRFMab       240 ns / 280 ns
+tREFI / tRFC            3900 ns / 410 ns
+Refresh window          8192 REF commands (tREFW = 32 ms)
+Bus                     6000 MT/s, 32-bit sub-channel bus
+======================  =======================================
+
+Because a pure-Python simulator cannot sweep 32 ms of memory time for dozens
+of configurations, :meth:`DDR5Timing.scaled` shortens the refresh *window*
+(fewer REF commands per window) while keeping every per-command timing —
+and therefore the tRFC/tREFI refresh duty cycle — identical.  Users scaling
+the window are expected to scale the number of rows per bank by the same
+factor (see :class:`repro.dram.device.Organization`), which preserves the
+activations-per-row-per-window statistics that all trackers depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Picoseconds per nanosecond, used throughout the package.
+PS_PER_NS = 1000
+
+#: Number of REF commands in a full JEDEC refresh window.
+JEDEC_REFS_PER_WINDOW = 8192
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds to integer picoseconds."""
+    return round(value * PS_PER_NS)
+
+
+@dataclass(frozen=True)
+class DDR5Timing:
+    """Immutable bundle of DDR5 timing parameters (picoseconds).
+
+    Attributes
+    ----------
+    t_rcd:
+        ACT-to-column-command delay.
+    t_rp:
+        Precharge period (row close).
+    t_rc:
+        Minimum ACT-to-ACT delay to the same bank (row cycle).
+    t_cl:
+        CAS latency (column access).
+    t_bus:
+        Data-bus occupancy of one 64-byte transfer on the 32-bit
+        sub-channel bus (16 beats at 6000 MT/s = ~2.67 ns).
+    t_refi:
+        Average interval between REF commands.
+    t_rfc:
+        REF execution time (all banks blocked).
+    t_drfm_sb:
+        DRFMsb execution time (8 banks blocked).
+    t_drfm_ab:
+        DRFMab execution time (32 banks blocked).
+    t_nrr:
+        Hypothetical NRR execution time; the paper assumes it equals
+        tDRFMsb (single bank blocked).
+    t_rrd:
+        Minimum delay between ACTs to different banks (command-bus
+        pacing of DREAM-C's gang-sampling rounds).
+    refs_per_window:
+        Number of REF commands per refresh window.  8192 for JEDEC;
+        scaled-down configurations use fewer.
+    """
+
+    t_rcd: int = ns(14)
+    t_rp: int = ns(14)
+    t_rc: int = ns(46)
+    t_cl: int = ns(14)
+    t_bus: int = ns(16 / 6.0)  # 16 beats at 6 GT/s ~= 2.667 ns
+    t_refi: int = ns(3900)
+    t_rfc: int = ns(410)
+    t_drfm_sb: int = ns(240)
+    t_drfm_ab: int = ns(280)
+    t_nrr: int = ns(240)
+    t_rrd: int = ns(4)
+    refs_per_window: int = JEDEC_REFS_PER_WINDOW
+
+    @property
+    def t_refw(self) -> int:
+        """Length of the refresh window in picoseconds."""
+        return self.t_refi * self.refs_per_window
+
+    @property
+    def t_ras(self) -> int:
+        """Row-open minimum time (tRC - tRP)."""
+        return self.t_rc - self.t_rp
+
+    @property
+    def refresh_duty_cycle(self) -> float:
+        """Fraction of time a bank is blocked by REF (tRFC / tREFI)."""
+        return self.t_rfc / self.t_refi
+
+    @classmethod
+    def jedec(cls) -> "DDR5Timing":
+        """Full-size DDR5 configuration from Table 2 of the paper."""
+        return cls(
+            t_rcd=ns(14),
+            t_rp=ns(14),
+            t_rc=ns(46),
+            t_cl=ns(14),
+            t_bus=ns(16 / 6.0),  # 16 beats at 6 GT/s ~= 2.667 ns
+            t_refi=ns(3900),
+            t_rfc=ns(410),
+            t_drfm_sb=ns(240),
+            t_drfm_ab=ns(280),
+            t_nrr=ns(240),
+            refs_per_window=JEDEC_REFS_PER_WINDOW,
+        )
+
+    @classmethod
+    def scaled(cls, refs_per_window: int = 256) -> "DDR5Timing":
+        """JEDEC timings with a shortened refresh window.
+
+        Only the *window length* changes; all per-command timings stay at
+        their JEDEC values so that the refresh duty cycle, DRFM blocking
+        footprints and bus bandwidth are unchanged.
+        """
+        if refs_per_window < 1:
+            raise ValueError("refs_per_window must be positive")
+        return replace(cls.jedec(), refs_per_window=refs_per_window)
+
+    @classmethod
+    def prac(cls, refs_per_window: int = JEDEC_REFS_PER_WINDOW) -> "DDR5Timing":
+        """PRAC-extended timings (Section 7.1 of the paper).
+
+        PRAC performs a read-modify-write of the per-row activation counter
+        during precharge, which extends tRP from 14 ns to 36 ns and tRC
+        accordingly.  This is the *intrinsic* slowdown source of
+        PRAC-based designs such as MOAT.
+        """
+        base = cls.jedec()
+        extra = ns(36) - base.t_rp
+        return replace(
+            base,
+            t_rp=ns(36),
+            t_rc=base.t_rc + extra,
+            refs_per_window=refs_per_window,
+        )
+
+    def with_window(self, refs_per_window: int) -> "DDR5Timing":
+        """Return a copy with a different refresh-window length."""
+        if refs_per_window < 1:
+            raise ValueError("refs_per_window must be positive")
+        return replace(self, refs_per_window=refs_per_window)
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if the parameters are inconsistent."""
+        if min(self.t_rcd, self.t_rp, self.t_rc, self.t_cl, self.t_bus) <= 0:
+            raise ValueError("all timing parameters must be positive")
+        if self.t_rc < self.t_rcd + self.t_rp:
+            raise ValueError("tRC must cover tRCD + tRP")
+        if self.t_rfc >= self.t_refi:
+            raise ValueError("tRFC must be smaller than tREFI")
+        if self.t_drfm_sb > self.t_drfm_ab:
+            raise ValueError("tDRFMsb must not exceed tDRFMab")

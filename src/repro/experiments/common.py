@@ -1,0 +1,174 @@
+"""Shared machinery for the per-table / per-figure experiments.
+
+Every experiment module exposes ``run(quick=True, ...) -> ExperimentResult``.
+Quick mode sweeps the representative workload subset with a smaller
+request budget (suitable for the default benchmark run); full mode sweeps
+all 22 workloads.  ``REPRO_FULL=1`` in the environment switches the
+benchmark harness to full mode.
+
+The central helper, :func:`sweep_designs`, runs one unprotected baseline
+per workload and reuses it across every design — the runs are perfectly
+paired because traces are deterministic per (workload, system, seed).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis.slowdown import SlowdownSeries
+from repro.mc.policy import PolicyFactory
+from repro.sim.config import SimConfig, SystemConfig
+from repro.sim.results import ComparisonResult
+from repro.sim.runner import run_simulation
+from repro.workloads.builder import build_traces
+from repro.workloads.profiles import WorkloadProfile, profiles_for
+
+#: Default per-core request budget in quick / full mode.
+QUICK_REQUESTS = 8_000
+FULL_REQUESTS = 25_000
+
+#: Default refresh-window scale for the performance experiments: 32 REFs
+#: = ~125 us windows, so the default request budgets span one (quick) to
+#: several (full) complete refresh windows.
+DEFAULT_REFS_PER_WINDOW = 32
+
+#: Default master seed.
+DEFAULT_SEED = 2025
+
+
+def full_mode_enabled() -> bool:
+    """Whether ``REPRO_FULL=1`` asks benches for the full sweep."""
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+def default_system(num_cores: int = 8) -> SystemConfig:
+    """Standard scaled system for the performance experiments.
+
+    Uses the 32-REF window (~125 us, 512 rows/bank) so that the default
+    request budgets cover one or more full refresh windows — required for
+    the counter-based designs (DREAM-C, Graphene, ABACuS) whose dynamics
+    play out across whole windows.
+    """
+    return SystemConfig.baseline(DEFAULT_REFS_PER_WINDOW, num_cores)
+
+
+def default_sim_config(quick: bool,
+                       requests_per_core: int | None = None,
+                       seed: int = DEFAULT_SEED) -> SimConfig:
+    """Standard run-control parameters for an experiment."""
+    if requests_per_core is None:
+        requests_per_core = QUICK_REQUESTS if quick else FULL_REQUESTS
+    return SimConfig(requests_per_core=requests_per_core, seed=seed)
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """One design under test in a sweep.
+
+    ``system`` overrides the hardware configuration for the *mitigated*
+    run only (PRAC's extended timings); the baseline always runs on the
+    unmodified system, which is exactly how the paper measures PRAC's
+    intrinsic slowdown.
+    """
+
+    name: str
+    factory: PolicyFactory
+    system: SystemConfig | None = None
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment: rows plus the paper's reference values."""
+
+    experiment: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    paper_reference: dict = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Human-readable rendering of the experiment's rows."""
+        lines = [f"== {self.experiment}: {self.title} =="]
+        if self.rows:
+            keys = list(self.rows[0].keys())
+            widths = {
+                key: max(len(key), *(len(_fmt(row.get(key)))
+                                     for row in self.rows))
+                for key in keys
+            }
+            lines.append("  ".join(key.ljust(widths[key]) for key in keys))
+            for row in self.rows:
+                lines.append("  ".join(
+                    _fmt(row.get(key)).ljust(widths[key]) for key in keys))
+        if self.paper_reference:
+            lines.append("paper reference: " + ", ".join(
+                f"{key}={value}" for key, value in
+                self.paper_reference.items()))
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+    def row_by(self, **criteria) -> dict:
+        """First row matching all key/value criteria."""
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                return row
+        raise KeyError(f"no row matching {criteria}")
+
+    def to_json(self) -> str:
+        """JSON rendering (experiment, title, rows, references, notes)."""
+        import json
+
+        return json.dumps({
+            "experiment": self.experiment,
+            "title": self.title,
+            "rows": self.rows,
+            "paper_reference": {str(k): str(v)
+                                for k, v in self.paper_reference.items()},
+            "notes": self.notes,
+        }, indent=2, default=str)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def sweep_designs(designs: list[DesignSpec],
+                  system: SystemConfig,
+                  sim: SimConfig,
+                  workloads: list[WorkloadProfile] | None = None,
+                  quick: bool = True) -> dict[str, SlowdownSeries]:
+    """Run every design against every workload with shared baselines."""
+    if workloads is None:
+        workloads = profiles_for(quick=quick)
+    series = {spec.name: SlowdownSeries(spec.name) for spec in designs}
+    for workload in workloads:
+        traces = build_traces(workload, system, sim)
+        baseline = run_simulation(system, traces, sim)
+        for spec in designs:
+            target_system = spec.system if spec.system is not None else \
+                system
+            mitigated = run_simulation(target_system, traces, sim,
+                                       spec.factory, spec.name)
+            series[spec.name].add(ComparisonResult(baseline, mitigated))
+    return series
+
+
+def series_rows(series: dict[str, SlowdownSeries]) -> list[dict]:
+    """Flatten sweep results into per-workload result rows."""
+    rows: list[dict] = []
+    names = sorted(next(iter(series.values())).slowdowns) if series else []
+    for workload in names:
+        row: dict = {"workload": workload}
+        for design, data in series.items():
+            row[design] = data.slowdowns[workload]
+        rows.append(row)
+    if series:
+        average: dict = {"workload": "AVERAGE"}
+        for design, data in series.items():
+            average[design] = data.average_slowdown
+        rows.append(average)
+    return rows

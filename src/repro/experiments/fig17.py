@@ -1,0 +1,77 @@
+"""Figure 17: ABACuS vs DREAM-C vs DREAM-C (2x storage) at T_RH = 125.
+
+The ultra-low-threshold comparison.  Paper: ABACuS 6.7% slowdown at
+19 KB/bank; DREAM-C 8.2% at 3 KB/bank (6.33x less storage); DREAM-C with
+2x storage beats ABACuS on both axes (slowdown below 6.7% at 6 KB/bank).
+"""
+
+from __future__ import annotations
+
+from repro.core.dream_c import dream_c_factory
+from repro.core.storage import dream_c_config
+from repro.experiments.common import (default_system,
+                                      DEFAULT_SEED, DesignSpec,
+                                      ExperimentResult, default_sim_config,
+                                      sweep_designs)
+from repro.sim.config import SystemConfig
+from repro.trackers import abacus
+from repro.trackers.abacus import abacus_factory
+
+#: The ultra-low threshold of this comparison.
+T_RH = 125
+
+PAPER = {
+    "abacus": {"slowdown": 6.7, "kb_per_bank": 19.0},
+    "dream-c": {"slowdown": 8.2, "kb_per_bank": 3.0},
+    "dream-c-2x": {"slowdown": "< 6.7", "kb_per_bank": 6.0},
+}
+
+
+def designs() -> list[DesignSpec]:
+    """The three Figure 17 configurations."""
+    return [
+        DesignSpec("abacus", abacus_factory(T_RH)),
+        DesignSpec("dream-c", dream_c_factory(T_RH, randomized=True)),
+        DesignSpec("dream-c-2x",
+                   dream_c_factory(T_RH, randomized=True,
+                                   storage_multiplier=2)),
+    ]
+
+
+def storage_rows() -> list[dict]:
+    """Full-size storage of each design (KB per bank)."""
+    base = dream_c_config(T_RH)
+    doubled = dream_c_config(T_RH, storage_multiplier=2)
+    return [
+        {"design": "abacus",
+         "kb_per_bank": abacus.storage_kb_per_bank(T_RH)},
+        {"design": "dream-c", "kb_per_bank": base.sram_kb_per_bank()},
+        {"design": "dream-c-2x",
+         "kb_per_bank": doubled.sram_kb_per_bank()},
+    ]
+
+
+def run(quick: bool = True, requests_per_core: int | None = None,
+        seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Regenerate Figure 17 (slowdown panel + storage annotations)."""
+    system = default_system()
+    sim = default_sim_config(quick, requests_per_core, seed)
+    series = sweep_designs(designs(), system, sim, quick=quick)
+    storage = {row["design"]: row["kb_per_bank"] for row in storage_rows()}
+    rows = [
+        {
+            "design": name,
+            "avg_slowdown": data.average_slowdown,
+            "kb_per_bank_full_size": storage[name],
+        }
+        for name, data in series.items()
+    ]
+    return ExperimentResult(
+        experiment="fig17",
+        title=f"ABACuS vs DREAM-C at T_RH={T_RH} (slowdown % + storage)",
+        rows=rows,
+        paper_reference={k: f"{v['slowdown']}% @ {v['kb_per_bank']}KB/bank"
+                         for k, v in PAPER.items()},
+        notes="DREAM-C should need ~6.3x less storage than ABACuS; "
+              "DREAM-C (2x) should be competitive on slowdown",
+    )

@@ -1,0 +1,64 @@
+"""Figure 19: PRAC (MOAT) vs MINT (DREAM-R) vs DREAM-C across thresholds.
+
+The cross-family comparison.  PRAC's slowdown (~9.7%) is intrinsic — the
+tRP 14 -> 36 ns extension — and flat across thresholds; MINT (DREAM-R)
+beats it for T_RH >= 500 (8.4% at 500, falling fast); DREAM-C is about a
+quarter of PRAC's slowdown at T_RH = 500.
+
+The PRAC runs use the PRAC-extended system timings against the
+normal-timing unprotected baseline, exactly the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from repro.core.dream_c import dream_c_factory
+from repro.core.dream_r import dream_r_mint_factory
+from repro.experiments.common import (default_system,
+                                      DEFAULT_SEED, DesignSpec,
+                                      ExperimentResult, default_sim_config,
+                                      series_rows, sweep_designs)
+from repro.sim.config import SystemConfig
+from repro.trackers.prac import moat_factory
+
+#: Swept thresholds.
+THRESHOLDS = (500, 1000, 2000, 4000)
+
+PAPER = {
+    "prac (all T_RH)": "9.7%",
+    "mint-dream-r@500": "8.4%",
+    "dream-c@500": "~2.6% (0.25x of PRAC)",
+}
+
+
+def designs(thresholds: tuple[int, ...],
+            refs_per_window: int) -> list[DesignSpec]:
+    """MOAT / DREAM-R / DREAM-C at every threshold."""
+    prac_system = SystemConfig.prac(refs_per_window)
+    specs = []
+    for t_rh in thresholds:
+        specs.append(DesignSpec(f"prac-moat-{t_rh}", moat_factory(t_rh),
+                                system=prac_system))
+        specs.append(DesignSpec(f"mint-dream-r-{t_rh}",
+                                dream_r_mint_factory(t_rh)))
+        specs.append(DesignSpec(f"dream-c-{t_rh}",
+                                dream_c_factory(t_rh, randomized=True)))
+    return specs
+
+
+def run(quick: bool = True, requests_per_core: int | None = None,
+        seed: int = DEFAULT_SEED,
+        thresholds: tuple[int, ...] = THRESHOLDS) -> ExperimentResult:
+    """Regenerate Figure 19."""
+    system = default_system()
+    sim = default_sim_config(quick, requests_per_core, seed)
+    refs = system.timing.refs_per_window
+    series = sweep_designs(designs(thresholds, refs), system, sim,
+                           quick=quick)
+    return ExperimentResult(
+        experiment="fig19",
+        title="PRAC (MOAT) vs MINT (DREAM-R) vs DREAM-C (slowdown %)",
+        rows=series_rows(series),
+        paper_reference=PAPER,
+        notes="PRAC flat across thresholds (intrinsic); DREAM designs "
+              "should undercut it for T_RH >= 500",
+    )

@@ -1,0 +1,60 @@
+"""Figure 5: PARA and MINT slowdown with NRR vs DRFMsb vs DRFMab.
+
+The motivation experiment (Sections 2.7): coupled PARA/MINT at
+T_RH = 2000 implemented with the hypothetical NRR command and with the
+real DRFMsb / DRFMab commands.  Paper averages: 3.9% (NRR, both
+trackers), 12.7% / 15.9% (DRFMsb, PARA / MINT), 49% / 82% (DRFMab).
+The reproduction should show the same strict ordering
+NRR << DRFMsb << DRFMab with multi-x gaps.
+"""
+
+from __future__ import annotations
+
+from repro.dram.commands import Command
+from repro.experiments.common import (default_system,
+                                      DEFAULT_SEED, DesignSpec,
+                                      ExperimentResult, default_sim_config,
+                                      series_rows, sweep_designs)
+from repro.mc.mitigation import coupled_mint_factory, coupled_para_factory
+from repro.sim.config import SystemConfig
+
+#: Rowhammer threshold of the motivation experiment.
+T_RH = 2000
+
+PAPER_AVERAGES = {
+    "para-nrr": 3.9, "para-drfmsb": 12.7, "para-drfmab": 49.0,
+    "mint-nrr": 3.9, "mint-drfmsb": 15.9, "mint-drfmab": 82.0,
+}
+
+
+def designs(t_rh: int = T_RH) -> list[DesignSpec]:
+    """The six Figure 5 configurations."""
+    return [
+        DesignSpec("para-nrr", coupled_para_factory(t_rh, Command.NRR)),
+        DesignSpec("para-drfmsb",
+                   coupled_para_factory(t_rh, Command.DRFM_SB)),
+        DesignSpec("para-drfmab",
+                   coupled_para_factory(t_rh, Command.DRFM_AB)),
+        DesignSpec("mint-nrr", coupled_mint_factory(t_rh, Command.NRR)),
+        DesignSpec("mint-drfmsb",
+                   coupled_mint_factory(t_rh, Command.DRFM_SB)),
+        DesignSpec("mint-drfmab",
+                   coupled_mint_factory(t_rh, Command.DRFM_AB)),
+    ]
+
+
+def run(quick: bool = True, requests_per_core: int | None = None,
+        seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Regenerate Figure 5."""
+    system = default_system()
+    sim = default_sim_config(quick, requests_per_core, seed)
+    series = sweep_designs(designs(), system, sim, quick=quick)
+    return ExperimentResult(
+        experiment="fig5",
+        title=f"PARA/MINT with NRR, DRFMsb, DRFMab at T_RH={T_RH} "
+              "(slowdown %)",
+        rows=series_rows(series),
+        paper_reference={f"avg {k}": f"{v}%"
+                         for k, v in PAPER_AVERAGES.items()},
+        notes="expect NRR << DRFMsb << DRFMab for both trackers",
+    )

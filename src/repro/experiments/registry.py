@@ -1,0 +1,68 @@
+"""Experiment registry: name -> runnable, for the CLI and the benches."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (ablations, dos, fig5, fig9, fig10, fig11,
+                               fig15, fig17, fig19, fig22, fig23,
+                               motivation, table1, table3, table4, table5,
+                               table6, table7)
+from repro.experiments.common import ExperimentResult
+
+ExperimentRunner = Callable[..., ExperimentResult]
+
+#: Every reproducible table/figure, in paper order.
+EXPERIMENTS: dict[str, ExperimentRunner] = {
+    "table1": table1.run,
+    "table3": table3.run,
+    "fig5": fig5.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig15": fig15.run,
+    "table6": table6.run,
+    "fig17": fig17.run,
+    "table7": table7.run,
+    "fig19": fig19.run,
+    "dos": dos.run,
+    "fig22": fig22.run,
+    "fig23": fig23.run,
+}
+
+#: Motivation studies (the Sections 1-2/8 narrative, made measurable).
+MOTIVATION: dict[str, ExperimentRunner] = {
+    "motivation-trr": motivation.run_trr_bypass,
+    "motivation-prac-extrinsic": motivation.run_prac_extrinsic,
+}
+
+EXPERIMENTS.update(MOTIVATION)
+
+#: Ablation studies (design-space knobs beyond the paper's figures).
+ABLATIONS: dict[str, ExperimentRunner] = {
+    "ablation-atm": ablations.run_atm,
+    "ablation-vertical": ablations.run_vertical,
+    "ablation-window-scaling": ablations.run_window_scaling,
+    "ablation-rate-limit": ablations.run_rate_limit,
+    "ablation-mlp": ablations.run_mlp,
+    "ablation-page-policy": ablations.run_page_policy,
+    "ablation-scheduler": ablations.run_scheduler,
+}
+
+EXPERIMENTS.update(ABLATIONS)
+
+
+def get(name: str) -> ExperimentRunner:
+    """Look up an experiment by name."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; available: "
+                       f"{', '.join(EXPERIMENTS)}") from None
+
+
+def names() -> list[str]:
+    """All experiment names in paper order."""
+    return list(EXPERIMENTS)

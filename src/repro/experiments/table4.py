@@ -1,0 +1,51 @@
+"""Table 4: revised tracker parameters under DREAM-R (analytic).
+
+At T_RH = 2000: coupled PARA needs p = 1/100 and MINT W = 100; delayed
+DRFM without ATM requires p ~ 1/85 and W = 97; with ATM the parameters
+stay essentially unchanged (p ~ 1/99, W = 99).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.security import revised_parameters
+from repro.experiments.common import DEFAULT_SEED, ExperimentResult
+
+#: Thresholds to tabulate (the paper shows 2K; we sweep for context).
+THRESHOLDS = (1000, 2000, 4000)
+
+PAPER_AT_2K = {
+    "para_drfm": "p = 1/100",
+    "para_dream_r": "p = 1/85",
+    "para_with_atm": "p = 1/99",
+    "mint_drfm": "W = 100",
+    "mint_dream_r": "W = 97",
+    "mint_with_atm": "W = 99",
+}
+
+
+def run(quick: bool = True, requests_per_core: int | None = None,
+        seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Regenerate Table 4."""
+    rows = []
+    for t_rh in THRESHOLDS:
+        params = revised_parameters(t_rh)
+        rows.append({
+            "t_rh": t_rh,
+            "para_p_coupled": f"1/{math.floor(1 / params.para_p_coupled)}",
+            "para_p_dream_r": f"1/{math.floor(1 / params.para_p_dream_r)}",
+            "para_p_with_atm":
+                f"1/{math.floor(1 / params.para_p_with_atm)}",
+            "mint_w_coupled": params.mint_w_coupled,
+            "mint_w_dream_r": params.mint_w_dream_r,
+            "mint_w_with_atm": params.mint_w_with_atm,
+        })
+    return ExperimentResult(
+        experiment="table4",
+        title="Revised tracker parameters for DREAM-R (with/without ATM)",
+        rows=rows,
+        paper_reference=PAPER_AT_2K,
+        notes="the exact-solve denominator differs from the paper by ~1 "
+              "(the paper approximates e^3 ~ 20 in Appendix A)",
+    )

@@ -1,0 +1,51 @@
+"""Table 6: DREAM-C configurations and storage versus Graphene (analytic).
+
+Gang size, DRFMab count and SRAM per bank for T_RH in {125, 250, 500,
+1000}, with vertical sharing doubling the gang (and halving the DCT)
+every time the threshold doubles — 8x less storage than Graphene at
+T_RH = 500, without CAM lookups.
+"""
+
+from __future__ import annotations
+
+from repro.core.storage import compare_storage, dream_c_config
+from repro.experiments.common import DEFAULT_SEED, ExperimentResult
+
+#: Thresholds of the paper's table.
+THRESHOLDS = (125, 250, 500, 1000)
+
+PAPER = {
+    125: {"gang": 32, "drfm": 1, "dream_kb": 3.0, "graphene_kb": 29.3},
+    250: {"gang": 64, "drfm": 2, "dream_kb": 1.75, "graphene_kb": 15.2},
+    500: {"gang": 128, "drfm": 4, "dream_kb": 1.0, "graphene_kb": 7.9},
+    1000: {"gang": 256, "drfm": 8, "dream_kb": 0.56, "graphene_kb": 4.1},
+}
+
+
+def run(quick: bool = True, requests_per_core: int | None = None,
+        seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Regenerate Table 6."""
+    rows = []
+    for t_rh in THRESHOLDS:
+        config = dream_c_config(t_rh)
+        comparison = compare_storage(t_rh)
+        rows.append({
+            "t_rh": t_rh,
+            "gang_size": config.gang_size,
+            "num_drfmab": config.drfms_per_mitigation,
+            "dream_c_kb_per_bank": config.sram_kb_per_bank(),
+            "graphene_kb_per_bank": comparison.graphene_kb,
+            "graphene_ratio": comparison.graphene_ratio,
+            "paper_dream_kb": PAPER[t_rh]["dream_kb"],
+            "paper_graphene_kb": PAPER[t_rh]["graphene_kb"],
+        })
+    return ExperimentResult(
+        experiment="table6",
+        title="DREAM-C configurations (gang size, DRFMab count, SRAM/bank)",
+        rows=rows,
+        paper_reference={f"T={t}": f"gang {v['gang']}, {v['drfm']} DRFMab, "
+                         f"{v['dream_kb']}KB vs Graphene "
+                         f"{v['graphene_kb']}KB"
+                         for t, v in PAPER.items()},
+        notes="expect ~8x less storage than Graphene at T_RH = 500",
+    )

@@ -1,0 +1,67 @@
+"""Table 7: tolerated T_RH of DREAM-R (MINT) with and without RMAQ.
+
+The DRFM rate limit (one mitigation per row per 2*tREFI) is enforced with
+the RMAQ filter; an attacker exploiting the filter gains extra
+activations only for small MINT windows.  The analytic penalty
+``max(0, 75 - W ln(W) / 2)`` matches the paper's numbers within rounding;
+this experiment tabulates both, plus a Monte-Carlo check of the attack
+pattern from Section 6.2 driven against the real policy.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.harness import AttackHarness
+from repro.core.dream_r import dream_r_mint_factory
+from repro.core.rmaq import capacity_for_window
+from repro.core.security import (PAPER_TABLE7_PENALTY,
+                                 dream_r_mint_threshold,
+                                 rmaq_threshold_penalty)
+from repro.experiments.common import DEFAULT_SEED, ExperimentResult
+from repro.workloads.attacks import rmaq_abuse
+
+#: MINT windows of the paper's table.
+WINDOWS = (25, 30, 35, 40, 45, 50, 100)
+
+
+def measured_abuse_gain(window: int, seed: int,
+                        rounds: int = 6) -> int:
+    """Monte-Carlo: peak unmitigated streak under the RMAQ-abuse attack.
+
+    Runs the Section 6.2 pattern against rate-limited DREAM-R (MINT) and
+    reports the single-sided peak streak on the target row; the analytic
+    model says this exceeds the no-rate-limit guarantee only for small
+    windows.
+    """
+    t_rh = dream_r_mint_threshold(window)
+    harness = AttackHarness(
+        dream_r_mint_factory(t_rh, rate_limited=True), seed=seed)
+    rows = list(range(window))
+    pattern = rmaq_abuse(rows, extra_on_target=150, rounds=rounds)
+    result = harness.run(pattern, bank=0)
+    return result.peak_for(0, rows[0])
+
+
+def run(quick: bool = True, requests_per_core: int | None = None,
+        seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Regenerate Table 7."""
+    rows = []
+    for window in WINDOWS:
+        penalty = rmaq_threshold_penalty(window)
+        rows.append({
+            "mint_w": window,
+            "t_rh_dream_r": dream_r_mint_threshold(window),
+            "rmaq_entries": capacity_for_window(window),
+            "penalty_with_rmaq": penalty,
+            "paper_penalty": PAPER_TABLE7_PENALTY[window],
+            "abuse_peak_streak": measured_abuse_gain(window, seed)
+            if not quick or window in (25, 50) else "-",
+        })
+    return ExperimentResult(
+        experiment="table7",
+        title="T_RH of DREAM-R (MINT) with/without DRFM rate limits",
+        rows=rows,
+        paper_reference={f"W={w}": f"+{p}"
+                         for w, p in PAPER_TABLE7_PENALTY.items()},
+        notes="analytic penalty max(0, 75 - W ln W / 2) matches the paper "
+              "within rounding; penalties vanish for W >= ~45",
+    )

@@ -1,0 +1,36 @@
+"""Memory-controller substrate: request service and mitigation port."""
+
+from repro.mc.controller import MemoryController, SubChannelController
+from repro.mc.page_policy import PagePolicy
+from repro.mc.scheduler import (QueuedRequest, QueuedScheduler,
+                                SchedulingPolicy)
+from repro.mc.tracer import (CommandTracer, ProtocolViolation,
+                             verify_protocol)
+from repro.mc.mitigation import (CoupledMintPolicy, CoupledParaPolicy,
+                                 MitigationPolicy, MitigationPort,
+                                 NoMitigation, PolicyContext, PolicyFactory,
+                                 PolicyStats, coupled_mint_factory,
+                                 coupled_para_factory, no_mitigation_factory)
+
+__all__ = [
+    "CommandTracer",
+    "CoupledMintPolicy",
+    "CoupledParaPolicy",
+    "MemoryController",
+    "MitigationPolicy",
+    "MitigationPort",
+    "NoMitigation",
+    "PagePolicy",
+    "PolicyContext",
+    "PolicyFactory",
+    "PolicyStats",
+    "ProtocolViolation",
+    "QueuedRequest",
+    "QueuedScheduler",
+    "SchedulingPolicy",
+    "SubChannelController",
+    "coupled_mint_factory",
+    "coupled_para_factory",
+    "no_mitigation_factory",
+    "verify_protocol",
+]

@@ -1,0 +1,207 @@
+"""Transaction-level memory controller.
+
+One :class:`SubChannelController` per sub-channel services LLC-miss
+requests against the bank state machines with an open-page policy,
+interleaves periodic REF, and exposes the :class:`MitigationPort`
+primitives the mitigation policies drive.  The
+:class:`MemoryController` is the per-channel front door the simulation
+runner talks to.
+
+The service path for one request:
+
+1. advance the refresh scheduler (issue any due REF);
+2. row-buffer hit  -> column access + data-bus burst, done;
+3. row miss        -> consult the mitigation policy *before* the ACT (the
+   paper's "tracker check", which lets DREAM-R issue a DRFM ahead of the
+   activation when the DAR must be freed);
+4. precharge a conflicting row, activate, column access, data burst;
+5. if the policy asked for implicit sampling, close the row with
+   Pre+Sample immediately after the access (Listing 1 of the paper) and
+   notify the policy.
+"""
+
+from __future__ import annotations
+
+from repro.dram.bank import DARRegister
+from repro.dram.commands import Command
+from repro.dram.device import Device, Organization
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.subchannel import MitigationEvent, SubChannel
+from repro.dram.timing import DDR5Timing
+from repro.mc.page_policy import PagePolicy
+from repro.mc.policy import (MitigationPolicy, PolicyContext,
+                             PolicyFactory)
+from repro.mc.tracer import CommandTracer
+
+
+class SubChannelController:
+    """Services requests for one sub-channel; implements MitigationPort."""
+
+    def __init__(self, subchannel: SubChannel, timing: DDR5Timing,
+                 policy: MitigationPolicy | None,
+                 page_policy: PagePolicy = PagePolicy.OPEN) -> None:
+        self.subchannel = subchannel
+        self.timing = timing
+        self.num_banks = subchannel.num_banks
+        self.banks_per_group = subchannel.banks_per_group
+        self.refresh = RefreshScheduler(timing, subchannel)
+        self.policy = policy
+        self.page_policy = page_policy
+        self.tracer: CommandTracer | None = None
+        if policy is not None:
+            policy.bind(self)
+
+    def attach_tracer(self, tracer: CommandTracer) -> None:
+        """Record every issued command (protocol checks / debugging)."""
+        self.tracer = tracer
+        tracer.subchannel = self.subchannel.index
+        self.refresh.on_ref(
+            lambda _index, time_ps: tracer.record(time_ps, Command.REF,
+                                                  None))
+
+    # ------------------------------------------------------------------
+    # MitigationPort implementation
+    # ------------------------------------------------------------------
+    def issue(self, command: Command, bank: int, now_ps: int,
+              row: int | None = None) -> MitigationEvent:
+        """Issue NRR/DRFMsb/DRFMab (see SubChannel.issue_mitigation)."""
+        if self.tracer is not None:
+            self.tracer.record(now_ps, command, bank, row)
+        return self.subchannel.issue_mitigation(command, bank, now_ps, row)
+
+    def explicit_sample(self, bank: int, row: int, now_ps: int) -> int:
+        """Dummy-ACT ``row`` in ``bank`` and Pre+Sample it into the DAR.
+
+        Costs the bank a full row cycle (any open row is closed first);
+        returns the completion time of the sampling precharge.
+        """
+        target = self.subchannel.banks[bank]
+        if target.open_row is not None:
+            if self.tracer is not None:
+                self.tracer.record(now_ps, Command.PRE, bank)
+            target.precharge(now_ps)
+        if self.tracer is not None:
+            self.tracer.record(now_ps, Command.ACT, bank, row)
+        target.activate(row, now_ps)
+        done = target.precharge(now_ps, sample=True)
+        if self.tracer is not None:
+            self.tracer.record(done, Command.PRE_SAMPLE, bank, row)
+        return done
+
+    def dar(self, bank: int) -> DARRegister:
+        """DAR register of ``bank``."""
+        return self.subchannel.banks[bank].dar
+
+    def block_bank(self, bank: int, until_ps: int) -> None:
+        """Stall one bank (used for ABO-style MC back-off)."""
+        self.subchannel.banks[bank].block_until(until_ps)
+
+    # ------------------------------------------------------------------
+    # Request service
+    # ------------------------------------------------------------------
+    def service(self, bank_index: int, row: int, now_ps: int) -> int:
+        """Service one 64-byte read; returns its data completion time."""
+        self.refresh.advance(now_ps)
+        bank = self.subchannel.banks[bank_index]
+        timing = self.timing
+        if bank.open_row == row:
+            bank.stats.row_hits += 1
+            data_ready = bank.ready_at(now_ps) + timing.t_cl
+            return self.subchannel.reserve_bus(data_ready)
+        sample_after = False
+        if self.policy is not None:
+            sample_after = self.policy.before_activate(bank_index, row,
+                                                       now_ps)
+            # The policy may have re-opened state questions: a mitigation
+            # it issued blocks the bank; the ACT below waits naturally.
+        if bank.open_row is not None:
+            bank.stats.row_conflicts += 1
+            if self.tracer is not None:
+                self.tracer.record(now_ps, Command.PRE, bank_index)
+            bank.precharge(now_ps)
+        row_ready = bank.activate(row, now_ps)
+        if self.tracer is not None:
+            self.tracer.record(row_ready - timing.t_rcd, Command.ACT,
+                               bank_index, row)
+        data_ready = row_ready + timing.t_cl
+        finish = self.subchannel.reserve_bus(data_ready)
+        if sample_after:
+            bank.precharge(finish, sample=True)
+            if self.tracer is not None:
+                self.tracer.record(finish, Command.PRE_SAMPLE, bank_index,
+                                   row)
+            self.policy.on_sampled(bank_index, row, finish)
+        elif self.page_policy.closes_after_access:
+            if self.tracer is not None:
+                self.tracer.record(finish, Command.PRE, bank_index)
+            bank.precharge(finish)
+        return finish
+
+    @property
+    def now_hint_ps(self) -> int:
+        """Latest activity timestamp (refresh progress marker)."""
+        return self.refresh.next_ref_ps - self.timing.t_refi
+
+
+class MemoryController:
+    """Front door: routes requests to per-sub-channel controllers."""
+
+    def __init__(self, organization: Organization, timing: DDR5Timing,
+                 policy_factory: PolicyFactory | None = None,
+                 seed: int = 0,
+                 record_mitigations: bool = False,
+                 page_policy: PagePolicy = PagePolicy.OPEN) -> None:
+        self.device = Device(organization, timing,
+                             record_mitigations=record_mitigations)
+        self.timing = timing
+        self.organization = organization
+        self.controllers: list[SubChannelController] = []
+        self.policies: list[MitigationPolicy] = []
+        for index, subchannel in enumerate(self.device.subchannels):
+            policy = None
+            if policy_factory is not None:
+                context = PolicyContext(
+                    subchannel=index,
+                    num_banks=organization.banks,
+                    banks_per_group=organization.banks_per_group,
+                    rows_per_bank=organization.rows_per_bank,
+                    timing=timing,
+                    seed=seed,
+                )
+                policy = policy_factory(context)
+                self.policies.append(policy)
+            self.controllers.append(
+                SubChannelController(subchannel, timing, policy,
+                                     page_policy=page_policy))
+
+    def service(self, subchannel: int, bank: int, row: int,
+                now_ps: int) -> int:
+        """Service one request; returns its completion time."""
+        return self.controllers[subchannel].service(bank, row, now_ps)
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    def total_activations(self) -> int:
+        return self.device.total_activations()
+
+    def total_row_hits(self) -> int:
+        return sum(bank.stats.row_hits
+                   for sc in self.device.subchannels for bank in sc.banks)
+
+    def total_row_conflicts(self) -> int:
+        return sum(bank.stats.row_conflicts
+                   for sc in self.device.subchannels for bank in sc.banks)
+
+    def total_mitigation_commands(self) -> int:
+        return sum(sc.stats.mitigation_commands
+                   for sc in self.device.subchannels)
+
+    def average_rlp(self) -> float:
+        return self.device.average_rlp()
+
+    def bus_busy_ps(self) -> int:
+        return sum(sc.stats.bus_busy_ps for sc in self.device.subchannels)
+
+    def policy_summaries(self) -> list[dict[str, float]]:
+        return [policy.summary() for policy in self.policies]

@@ -1,0 +1,150 @@
+"""Mitigation-policy base classes and the controller-facing port.
+
+A :class:`MitigationPolicy` is the MC-side logic that watches activations
+on one sub-channel, decides which rows to sample into DARs, and issues
+mitigation commands through a :class:`MitigationPort` (implemented by the
+sub-channel controller).  The port exposes exactly the primitives the
+paper's designs need:
+
+* issue an NRR / DRFMsb / DRFMab command,
+* perform *explicit sampling* (dummy ACT + Pre+Sample) of a chosen row,
+* read DAR state, and
+* stall a bank (ABO-style MC back-off for PRAC).
+
+This module is a leaf: concrete policies (coupled baselines in
+:mod:`repro.mc.mitigation`, trackers in :mod:`repro.trackers`, DREAM in
+:mod:`repro.core`) all import from here.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.dram.bank import DARRegister
+from repro.dram.commands import Command
+from repro.dram.subchannel import MitigationEvent
+from repro.dram.timing import DDR5Timing
+
+
+class MitigationPort(Protocol):
+    """Primitives a policy can invoke on its sub-channel controller."""
+
+    timing: DDR5Timing
+    num_banks: int
+    banks_per_group: int
+
+    def issue(self, command: Command, bank: int, now_ps: int,
+              row: int | None = None) -> MitigationEvent:
+        """Issue a mitigation command (NRR needs an explicit ``row``)."""
+        ...
+
+    def explicit_sample(self, bank: int, row: int, now_ps: int) -> int:
+        """Dummy-ACT ``row`` and Pre+Sample it into the bank's DAR."""
+        ...
+
+    def dar(self, bank: int) -> DARRegister:
+        """The DAR register of ``bank``."""
+        ...
+
+    def block_bank(self, bank: int, until_ps: int) -> None:
+        """Stall ``bank`` until ``until_ps`` (ABO-style MC back-off)."""
+        ...
+
+
+@dataclass(frozen=True)
+class PolicyContext:
+    """Construction-time context handed to policy factories.
+
+    One policy instance is created per sub-channel; the context carries
+    the sub-channel's shape and a derived seed so that every policy's
+    random stream is independent and reproducible.
+    """
+
+    subchannel: int
+    num_banks: int
+    banks_per_group: int
+    rows_per_bank: int
+    timing: DDR5Timing
+    seed: int
+
+    def rng(self) -> np.random.Generator:
+        """A generator seeded deterministically for this sub-channel."""
+        return np.random.default_rng((self.seed, self.subchannel))
+
+
+PolicyFactory = Callable[[PolicyContext], "MitigationPolicy"]
+
+
+@dataclass
+class PolicyStats:
+    """Counters common to every mitigation policy."""
+
+    activations_observed: int = 0
+    selections: int = 0
+    mitigations_issued: int = 0
+    rows_mitigated: int = 0
+    samples_skipped_rate_limit: int = 0
+
+    def record_event(self, event: MitigationEvent) -> None:
+        self.mitigations_issued += 1
+        self.rows_mitigated += event.rlp
+
+
+class MitigationPolicy(abc.ABC):
+    """Base class for MC-side Rowhammer mitigation logic.
+
+    Lifecycle: the sub-channel controller calls :meth:`bind` once, then
+    :meth:`before_activate` for every ACT (row misses only — row-buffer
+    hits do not activate) *before* the ACT is issued, and
+    :meth:`on_sampled` right after a requested implicit Pre+Sample
+    completes.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.port: MitigationPort | None = None
+        self.stats = PolicyStats()
+
+    def bind(self, port: MitigationPort) -> None:
+        """Attach the policy to its sub-channel controller."""
+        self.port = port
+
+    @abc.abstractmethod
+    def before_activate(self, bank: int, row: int, now_ps: int) -> bool:
+        """Tracker check before an ACT; may issue commands via the port.
+
+        Returns ``True`` when the MC must close this row with Pre+Sample
+        after the access (implicit sampling of the current activation).
+        """
+
+    def on_sampled(self, bank: int, row: int, now_ps: int) -> None:
+        """Hook fired after a requested implicit Pre+Sample completed."""
+
+    def summary(self) -> dict[str, float]:
+        """Policy statistics for result reporting."""
+        return {
+            "activations": self.stats.activations_observed,
+            "selections": self.stats.selections,
+            "mitigations": self.stats.mitigations_issued,
+            "rows_mitigated": self.stats.rows_mitigated,
+        }
+
+
+class NoMitigation(MitigationPolicy):
+    """Unprotected baseline: observe activations, never mitigate."""
+
+    name = "none"
+
+    def before_activate(self, bank: int, row: int, now_ps: int) -> bool:
+        self.stats.activations_observed += 1
+        return False
+
+
+def no_mitigation_factory() -> PolicyFactory:
+    """Factory for the unprotected baseline."""
+    return lambda context: NoMitigation()

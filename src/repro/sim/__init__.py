@@ -1,0 +1,16 @@
+"""Simulation engine: event queue, configuration, runner, results."""
+
+from repro.sim.config import SimConfig, SystemConfig
+from repro.sim.engine import EventQueue
+from repro.sim.results import ComparisonResult, RunResult
+from repro.sim.runner import run_comparison, run_simulation
+
+__all__ = [
+    "ComparisonResult",
+    "EventQueue",
+    "RunResult",
+    "SimConfig",
+    "SystemConfig",
+    "run_comparison",
+    "run_simulation",
+]

@@ -1,0 +1,120 @@
+"""System and simulation configuration.
+
+:class:`SystemConfig` bundles the hardware shape of the simulated machine
+(Table 2 of the paper) with the scaled presets used for tractable
+pure-Python runs.  :class:`SimConfig` holds run-control parameters
+(request budget per core, seed, measurement warm-up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.dram.device import Organization
+from repro.dram.timing import DDR5Timing
+from repro.mc.page_policy import PagePolicy
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Hardware shape of the simulated system.
+
+    The defaults correspond to the paper's baseline (Table 2): 8 cores,
+    one DDR5 channel with two sub-channels of 32 banks, MOP4 mapping,
+    open-page policy — but with the refresh window scaled down to 256 REFs
+    (1 ms) and rows per bank scaled by the same 32x factor, per DESIGN.md.
+
+    Attributes
+    ----------
+    timing:
+        DDR5 timing parameters.
+    organization:
+        Channel/bank/row shape.
+    num_cores:
+        Cores issuing memory traffic (8 baseline, 16 for Appendix C).
+    mlp_per_core:
+        Outstanding LLC misses a core sustains (derived from the 256-entry
+        ROB; each in-flight miss occupies a window of instructions).
+    core_ghz:
+        Core frequency, used only to convert think-time to instructions
+        for MPKI-style reporting.
+    page_policy:
+        Row-buffer closure policy (open-page baseline per Table 2).
+    """
+
+    timing: DDR5Timing = field(default_factory=DDR5Timing.scaled)
+    organization: Organization = field(default_factory=Organization.scaled)
+    num_cores: int = 8
+    mlp_per_core: int = 16
+    core_ghz: float = 4.0
+    page_policy: PagePolicy = PagePolicy.OPEN
+
+    @classmethod
+    def baseline(cls, refs_per_window: int = 256,
+                 num_cores: int = 8) -> "SystemConfig":
+        """Scaled baseline system (default used by the experiments)."""
+        return cls(
+            timing=DDR5Timing.scaled(refs_per_window),
+            organization=Organization.scaled(refs_per_window),
+            num_cores=num_cores,
+        )
+
+    @classmethod
+    def full_size(cls) -> "SystemConfig":
+        """The paper's exact Table 2 system (32 ms window, 128K rows)."""
+        return cls(timing=DDR5Timing.jedec(),
+                   organization=Organization.full_size())
+
+    @classmethod
+    def prac(cls, refs_per_window: int = 256,
+             num_cores: int = 8) -> "SystemConfig":
+        """Baseline system with PRAC-extended timings (tRP 14 -> 36 ns)."""
+        return cls(
+            timing=DDR5Timing.prac(refs_per_window),
+            organization=Organization.scaled(refs_per_window),
+            num_cores=num_cores,
+        )
+
+    def with_cores(self, num_cores: int) -> "SystemConfig":
+        """Copy of this config with a different core count."""
+        return replace(self, num_cores=num_cores)
+
+    @property
+    def total_mlp(self) -> int:
+        """Total outstanding-miss slots across all cores."""
+        return self.num_cores * self.mlp_per_core
+
+    @property
+    def peak_lines_per_ps(self) -> float:
+        """Peak data-bus throughput in 64-byte lines per picosecond."""
+        buses = self.organization.channels * self.organization.subchannels
+        return buses / self.timing.t_bus
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Run-control parameters for one simulation.
+
+    Attributes
+    ----------
+    requests_per_core:
+        LLC-miss requests each core must complete; the run ends when every
+        core has finished its budget.
+    seed:
+        Master seed; every stochastic component (traces, trackers) derives
+        its own stream from it, so runs are bit-reproducible.
+
+    Runs are paired (baseline and mitigated execute identical traces), so
+    no warm-up discard is needed: cold-start effects cancel in the
+    slowdown ratio.
+    """
+
+    requests_per_core: int = 20_000
+    seed: int = 12345
+
+    def scaled(self, factor: float) -> "SimConfig":
+        """Copy with the request budget scaled by ``factor``."""
+        return replace(
+            self,
+            requests_per_core=max(1, int(self.requests_per_core * factor)),
+        )

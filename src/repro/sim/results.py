@@ -1,0 +1,93 @@
+"""Result containers for simulation runs.
+
+A :class:`RunResult` captures one closed-loop run (per-core finish times
+plus memory-system counters).  A :class:`ComparisonResult` pairs a
+mitigated run with its unprotected baseline and exposes the paper's
+headline metrics: percentage slowdown (from normalized weighted speedup)
+and realised RLP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.metrics import normalized_performance, slowdown_percent
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    workload: str
+    policy: str
+    finish_times_ps: list[int]
+    end_time_ps: int
+    requests_completed: int
+    activations: int
+    row_hits: int
+    row_conflicts: int
+    mitigation_commands: int
+    rows_mitigated: int
+    average_rlp: float
+    bus_busy_ps: int
+    subchannels: int
+    policy_summaries: list[dict[str, float]] = field(default_factory=list)
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Row-buffer hit rate over all accesses."""
+        accesses = self.activations + self.row_hits
+        return self.row_hits / accesses if accesses else 0.0
+
+    @property
+    def bus_utilization(self) -> float:
+        """Mean data-bus utilisation across sub-channels (0..1)."""
+        if self.end_time_ps <= 0:
+            return 0.0
+        return self.bus_busy_ps / (self.end_time_ps * self.subchannels)
+
+    @property
+    def act_rate_per_ns(self) -> float:
+        """System-wide activation rate (ACTs per nanosecond)."""
+        if self.end_time_ps <= 0:
+            return 0.0
+        return self.activations / (self.end_time_ps / 1000.0)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.workload}/{self.policy}: end={self.end_time_ps} ps, "
+                f"hit-rate={self.row_hit_rate:.2f}, "
+                f"bw={self.bus_utilization * 100:.1f}%, "
+                f"mitigations={self.mitigation_commands}, "
+                f"rlp={self.average_rlp:.2f}")
+
+
+@dataclass
+class ComparisonResult:
+    """A mitigated run against its unprotected baseline."""
+
+    baseline: RunResult
+    mitigated: RunResult
+
+    @property
+    def slowdown_percent(self) -> float:
+        """Percentage slowdown (paper's headline metric)."""
+        return slowdown_percent(self.baseline.finish_times_ps,
+                                self.mitigated.finish_times_ps)
+
+    @property
+    def normalized_performance(self) -> float:
+        """Normalized weighted speedup (1.0 = no slowdown)."""
+        return normalized_performance(self.baseline.finish_times_ps,
+                                      self.mitigated.finish_times_ps)
+
+    @property
+    def average_rlp(self) -> float:
+        """Realised RLP of the mitigated run."""
+        return self.mitigated.average_rlp
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.mitigated.workload}: "
+                f"{self.mitigated.policy} slowdown="
+                f"{self.slowdown_percent:.2f}% rlp={self.average_rlp:.2f}")

@@ -1,0 +1,106 @@
+"""Simulation runner: wire cores, MC and policies together and run.
+
+The run is a closed queueing network (see :mod:`repro.cpu.core`): every
+MLP slot of every core cycles between thinking and memory service.  The
+event queue orders slot wake-ups; request service is computed
+synchronously against the bank state machines, which is exact for the
+arrival-ordered, per-bank-FIFO scheduling this model uses.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.core import Core
+from repro.mc.controller import MemoryController
+from repro.mc.policy import PolicyFactory
+from repro.sim.config import SimConfig, SystemConfig
+from repro.sim.engine import EventQueue
+from repro.sim.results import ComparisonResult, RunResult
+from repro.workloads.trace import MemoryTrace
+
+
+def run_simulation(system: SystemConfig, traces: list[MemoryTrace],
+                   sim: SimConfig,
+                   policy_factory: PolicyFactory | None = None,
+                   policy_name: str = "none") -> RunResult:
+    """Run one closed-loop simulation to completion.
+
+    Parameters
+    ----------
+    system:
+        Hardware shape (timing, organization, cores, MLP).
+    traces:
+        One trace per core (wraps if shorter than the request budget).
+    sim:
+        Request budget and seed.
+    policy_factory:
+        Mitigation policy to install per sub-channel (``None`` for the
+        unprotected baseline).
+    policy_name:
+        Label recorded in the result.
+    """
+    if len(traces) != system.num_cores:
+        raise ValueError(
+            f"expected {system.num_cores} traces, got {len(traces)}")
+    mc = MemoryController(system.organization, system.timing,
+                          policy_factory, seed=sim.seed,
+                          page_policy=system.page_policy)
+    cores = [Core(i, traces[i], sim.requests_per_core, system.mlp_per_core)
+             for i in range(system.num_cores)]
+    queue = EventQueue()
+    for core in cores:
+        for slot in range(core.mlp):
+            fetched = core.fetch(slot)
+            if fetched is None:
+                break
+            request, gap = fetched
+            queue.push(gap, request)
+    completed = 0
+    end_time = 0
+    while queue:
+        now, request = queue.pop()
+        finish = mc.service(request.subchannel, request.bank, request.row,
+                            now)
+        core = cores[request.core]
+        core.complete(finish)
+        completed += 1
+        if finish > end_time:
+            end_time = finish
+        fetched = core.fetch(request.slot)
+        if fetched is not None:
+            next_request, gap = fetched
+            queue.push(finish + gap, next_request)
+    finish_times = [core.finish_time_ps if core.finish_time_ps is not None
+                    else end_time for core in cores]
+    workload = traces[0].name if traces else "empty"
+    return RunResult(
+        workload=workload,
+        policy=policy_name,
+        finish_times_ps=finish_times,
+        end_time_ps=end_time,
+        requests_completed=completed,
+        activations=mc.total_activations(),
+        row_hits=mc.total_row_hits(),
+        row_conflicts=mc.total_row_conflicts(),
+        mitigation_commands=mc.total_mitigation_commands(),
+        rows_mitigated=mc.device.total_mitigated_rows(),
+        average_rlp=mc.average_rlp(),
+        bus_busy_ps=mc.bus_busy_ps(),
+        subchannels=system.organization.subchannels,
+        policy_summaries=mc.policy_summaries(),
+    )
+
+
+def run_comparison(system: SystemConfig, traces: list[MemoryTrace],
+                   sim: SimConfig, policy_factory: PolicyFactory,
+                   policy_name: str,
+                   baseline: RunResult | None = None) -> ComparisonResult:
+    """Run a mitigated configuration against the unprotected baseline.
+
+    The baseline run can be passed in (and reused across policies for the
+    same workload/seed) or computed on the fly.
+    """
+    if baseline is None:
+        baseline = run_simulation(system, traces, sim)
+    mitigated = run_simulation(system, traces, sim, policy_factory,
+                               policy_name)
+    return ComparisonResult(baseline=baseline, mitigated=mitigated)

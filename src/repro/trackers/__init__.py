@@ -1,0 +1,50 @@
+"""Tracker substrate: PARA, MINT, Graphene, ABACuS, PRAC/MOAT."""
+
+from repro.trackers.abacus import (AbacusPolicy, AbacusTable, abacus_factory)
+from repro.trackers.base import (CounterTracker, MitigationDemand,
+                                 tracker_threshold)
+from repro.trackers.indram_mint import (InDramMintPolicy,
+                                        effective_window,
+                                        indram_mint_factory,
+                                        indram_mint_threshold)
+from repro.trackers.graphene import (GraphenePolicy, MisraGriesTable,
+                                     entries_for_threshold, graphene_factory,
+                                     storage_kb_per_bank)
+from repro.trackers.mint import (MintWindow, threshold_for_window,
+                                 window_for_threshold)
+from repro.trackers.para import (ParaSampler, epoch_failure_probability,
+                                 probability_for_threshold,
+                                 threshold_for_probability)
+from repro.trackers.prac import MoatPolicy, PracCounters, moat_factory
+from repro.trackers.trr import TRRPolicy, TRRSampler, trr_factory
+
+__all__ = [
+    "AbacusPolicy",
+    "AbacusTable",
+    "CounterTracker",
+    "GraphenePolicy",
+    "InDramMintPolicy",
+    "MintWindow",
+    "MisraGriesTable",
+    "MitigationDemand",
+    "MoatPolicy",
+    "ParaSampler",
+    "PracCounters",
+    "abacus_factory",
+    "effective_window",
+    "entries_for_threshold",
+    "epoch_failure_probability",
+    "graphene_factory",
+    "indram_mint_factory",
+    "indram_mint_threshold",
+    "moat_factory",
+    "probability_for_threshold",
+    "storage_kb_per_bank",
+    "threshold_for_probability",
+    "TRRPolicy",
+    "TRRSampler",
+    "threshold_for_window",
+    "tracker_threshold",
+    "trr_factory",
+    "window_for_threshold",
+]

@@ -1,0 +1,56 @@
+"""Shared vocabulary for activation trackers.
+
+Counter-based trackers (Graphene, ABACuS, PRAC, DREAM-C) all follow the
+same contract: observe a stream of ``(bank, row)`` activations and emit
+mitigation demands when some counter crosses its tracker threshold.
+:class:`CounterTracker` captures that contract so the pure data structures
+can be unit- and property-tested independently of the simulator, and
+:func:`tracker_threshold` centralises the paper's ``T_TH = T_RH / 2``
+convention (the halving securely absorbs periodic table resets, following
+Graphene).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+def tracker_threshold(t_rh: int) -> int:
+    """Counter threshold for a target Rowhammer threshold.
+
+    The paper sets the tracker threshold to half the Rowhammer threshold
+    (Section 5.3) so that a row straddling a periodic table reset can
+    never accumulate ``T_RH`` activations unmitigated.
+    """
+    if t_rh < 2:
+        raise ValueError("t_rh must be at least 2")
+    return t_rh // 2
+
+
+@dataclass(frozen=True)
+class MitigationDemand:
+    """A tracker's request to mitigate one row."""
+
+    bank: int
+    row: int
+
+
+class CounterTracker(abc.ABC):
+    """A counting structure that turns activations into mitigation demands."""
+
+    @abc.abstractmethod
+    def observe(self, bank: int, row: int) -> list[MitigationDemand]:
+        """Record one activation; return any rows that must be mitigated."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Periodic (refresh-window) state reset."""
+
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Total SRAM/CAM bits the structure occupies."""
+
+    def storage_bytes(self) -> float:
+        """Convenience: storage in bytes."""
+        return self.storage_bits() / 8.0

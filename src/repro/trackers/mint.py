@@ -1,0 +1,109 @@
+"""MINT: Minimalist In-DRAM Tracker adapted to the MC [Qureshi+, MICRO'24].
+
+MINT performs *windowed* selection: activations are grouped into windows
+of ``W`` consecutive activations, one uniformly random slot per window is
+selected, and the row activated in that slot is mitigated when the window
+ends.  Per the paper (Appendix B), MINT with window ``W`` tolerates a
+double-sided threshold of
+
+    T_RH = 20 * W          (T_RH = 2000  ->  W = 100)
+
+Security at the MC requires care: mitigating as soon as the selected slot
+is reached would leak the selection through timing, letting the attacker
+hammer the remaining slots with impunity.  The MC therefore *buffers* the
+selected row (the SAR) and performs sampling + mitigation only at the end
+of the window — both the coupled baseline and DREAM-R honour this.
+
+Unlike PARA's IID selection, the distance between consecutive MINT
+selections follows a triangular distribution on ``(0, 2W)`` centred at
+``W`` — selections are well spaced, which is why MINT achieves much
+higher RLP under DREAM-R (Section 4.7, Figure 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: T_RH = THRESHOLD_PER_WINDOW * W for a double-sided pattern (Appendix B).
+THRESHOLD_PER_WINDOW = 20
+
+
+def window_for_threshold(t_rh: int) -> int:
+    """Largest MINT window tolerating a double-sided ``t_rh``."""
+    if t_rh < THRESHOLD_PER_WINDOW:
+        raise ValueError(
+            f"T_RH={t_rh} is below the minimum MINT can tolerate "
+            f"({THRESHOLD_PER_WINDOW})")
+    return t_rh // THRESHOLD_PER_WINDOW
+
+
+def threshold_for_window(window: int) -> int:
+    """Double-sided threshold tolerated by MINT with window ``window``."""
+    if window < 1:
+        raise ValueError("window must be positive")
+    return THRESHOLD_PER_WINDOW * window
+
+
+class MintWindow:
+    """Per-bank MINT window state machine.
+
+    Drives the CAN (current activation number) / SAN (selected activation
+    number) logic: :meth:`observe` records one activation, capturing the
+    row when the activation lands on the selected slot; :meth:`roll_over`
+    closes an expired window, returning the buffered selection and drawing
+    a fresh SAN for the next window.
+    """
+
+    def __init__(self, window: int, rng: np.random.Generator) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._rng = rng
+        self.can = 0
+        self.san = int(rng.integers(window))
+        self.selected_row: int | None = None
+        self.windows_completed = 0
+
+    @property
+    def expired(self) -> bool:
+        """Whether the current window has consumed all ``W`` slots."""
+        return self.can >= self.window
+
+    def observe(self, row: int) -> bool:
+        """Record one activation; returns ``True`` if it was selected."""
+        if self.expired:
+            raise RuntimeError("observe() on an expired window; "
+                               "call roll_over() first")
+        selected = self.can == self.san
+        if selected:
+            self.selected_row = row
+        self.can += 1
+        return selected
+
+    def roll_over(self) -> int | None:
+        """Close the expired window; returns its selected row (if any).
+
+        A window can end without a selection only if it had fewer
+        activations than ``W`` at reset time; in the steady state every
+        window returns a row.
+        """
+        if not self.expired:
+            raise RuntimeError("roll_over() on a window that has not expired")
+        selected = self.selected_row
+        self.selected_row = None
+        self.can = 0
+        self.san = int(self._rng.integers(self.window))
+        self.windows_completed += 1
+        return selected
+
+    def inter_selection_distances(self, activations: int) -> np.ndarray:
+        """Monte-Carlo gaps between consecutive selections (Figure 11).
+
+        For MINT the gap between the selections of consecutive windows is
+        ``W - SAN_k + SAN_{k+1}``: a triangular distribution on (0, 2W)
+        — most gaps near ``W``, unlike PARA's exponential clustering.
+        """
+        windows = max(2, activations // self.window)
+        sans = self._rng.integers(self.window, size=windows)
+        positions = np.arange(windows) * self.window + sans
+        return np.diff(positions)

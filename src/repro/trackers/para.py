@@ -1,0 +1,92 @@
+"""PARA: Probabilistic Adjacent Row Activation mitigation [Kim+, ISCA'14].
+
+PARA performs *Independent and Identically Distributed* (IID) selection:
+every activation is chosen for mitigation with probability ``p``.  The
+paper (Appendix A) selects ``p`` so that, for a bank-MTTF of 40K years,
+an unmitigated *epoch* (the activation gap between two consecutive PARA
+selections) of length ``T_RH`` occurs with probability at most ``e^-20``
+for a double-sided pattern:
+
+    p = 20 / T_RH          (T_RH = 2000  ->  p = 1/100)
+
+The epoch length is geometrically (continuum: exponentially) distributed,
+which is also why PARA suffers under DREAM-R's delayed DRFM: consecutive
+selections cluster (many short gaps), forcing early DRFMs — see
+Section 4.7 and :mod:`repro.analysis.selection`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Target exponent for the acceptable per-epoch failure probability
+#: (e^-20 double-sided) derived from a 40K-year bank MTTF (Appendix A).
+MTTF_EXPONENT = 20.0
+
+
+def probability_for_threshold(t_rh: int,
+                              mttf_exponent: float = MTTF_EXPONENT) -> float:
+    """PARA selection probability tolerating a double-sided ``t_rh``.
+
+    Solves ``e^(-p * T) <= e^(-mttf_exponent)`` for the smallest ``p``.
+    """
+    if t_rh < 1:
+        raise ValueError("t_rh must be positive")
+    probability = mttf_exponent / t_rh
+    if probability > 1.0:
+        raise ValueError(
+            f"T_RH={t_rh} is below the minimum PARA can tolerate "
+            f"({math.ceil(mttf_exponent)}) at this failure target")
+    return probability
+
+
+def threshold_for_probability(probability: float,
+                              mttf_exponent: float = MTTF_EXPONENT) -> float:
+    """Inverse of :func:`probability_for_threshold`."""
+    if not 0.0 < probability <= 1.0:
+        raise ValueError("probability must be in (0, 1]")
+    return mttf_exponent / probability
+
+
+def epoch_failure_probability(t_rh: int, probability: float) -> float:
+    """Probability a single epoch exceeds ``t_rh`` activations.
+
+    Epochs are geometric with parameter ``probability``; the continuum
+    approximation used by the paper is the exponential tail ``e^(-p*T)``.
+    """
+    return math.exp(-probability * t_rh)
+
+
+class ParaSampler:
+    """Stateless IID Bernoulli selector with a dedicated random stream."""
+
+    def __init__(self, probability: float, rng: np.random.Generator) -> None:
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        self.probability = probability
+        self._rng = rng
+        self.trials = 0
+        self.selections = 0
+
+    def select(self) -> bool:
+        """Bernoulli trial: should this activation be mitigated?"""
+        self.trials += 1
+        chosen = self._rng.random() < self.probability
+        if chosen:
+            self.selections += 1
+        return chosen
+
+    def inter_selection_distances(self, activations: int) -> np.ndarray:
+        """Monte-Carlo gaps between consecutive selections (Figure 11).
+
+        Simulates ``activations`` Bernoulli trials and returns the
+        activation distances between consecutive selections — for PARA
+        these are geometrically distributed (many short gaps).
+        """
+        draws = self._rng.random(activations) < self.probability
+        positions = np.flatnonzero(draws)
+        if len(positions) < 2:
+            return np.empty(0, dtype=np.int64)
+        return np.diff(positions)

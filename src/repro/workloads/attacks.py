@@ -1,0 +1,152 @@
+"""Rowhammer attack patterns.
+
+Generators for the adversarial activation sequences used throughout the
+paper's security discussion:
+
+* single-sided and double-sided hammering (the classic patterns behind
+  the T_RH definitions),
+* the circular pattern ``(ABCD...)^N`` that is the most stressful input
+  for MINT (Section 6.2),
+* Blacksmith-style non-uniform frequency/phase schedules (the patterns
+  that broke deployed TRR),
+* the RMAQ-abuse pattern: force a row to be selected, then exploit the
+  rate-limit filter to land extra activations without selection,
+* the DREAM-C DoS pattern: focus activations on the rows of one gang to
+  force back-to-back DRFMab rounds (Section 5.5).
+
+Patterns are produced as per-bank row sequences (every element implies
+one activation: the attacker interleaves a conflict access, so row-buffer
+hits never absorb the hammer).  ``as_trace`` converts a pattern into a
+:class:`MemoryTrace` for use in the full performance simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.config import SystemConfig
+from repro.workloads.trace import MemoryTrace
+
+
+def single_sided(row: int, activations: int) -> np.ndarray:
+    """``activations`` back-to-back activations of one aggressor row."""
+    if activations < 1:
+        raise ValueError("activations must be positive")
+    return np.full(activations, row, dtype=np.int64)
+
+
+def double_sided(row_a: int, row_b: int, activations: int) -> np.ndarray:
+    """Alternating activations of the two aggressors around a victim."""
+    if activations < 1:
+        raise ValueError("activations must be positive")
+    pattern = np.empty(activations, dtype=np.int64)
+    pattern[0::2] = row_a
+    pattern[1::2] = row_b
+    return pattern
+
+
+def circular(rows: list[int], activations: int) -> np.ndarray:
+    """The circular pattern ``(ABCD...)^N`` over ``rows``."""
+    if not rows:
+        raise ValueError("at least one row is required")
+    base = np.asarray(rows, dtype=np.int64)
+    repeats = -(-activations // len(base))
+    return np.tile(base, repeats)[:activations]
+
+
+def rmaq_abuse(rows: list[int], extra_on_target: int,
+               rounds: int) -> np.ndarray:
+    """The Section 6.2 attack against RMAQ-filtered DREAM-R (MINT).
+
+    Each round: hammer the target (``rows[0]``) for a full window so MINT
+    is guaranteed to select it, then — while the RMAQ suppresses further
+    sampling of the target — land ``extra_on_target`` free activations,
+    then resume the circular pattern over the remaining rows.
+    """
+    if len(rows) < 2:
+        raise ValueError("need a target row plus at least one filler row")
+    window = len(rows)
+    target = rows[0]
+    pieces: list[np.ndarray] = []
+    for _ in range(rounds):
+        pieces.append(np.full(window, target, dtype=np.int64))
+        pieces.append(np.full(extra_on_target, target, dtype=np.int64))
+        pieces.append(circular(rows[1:], window * (len(rows) - 1)))
+    return np.concatenate(pieces)
+
+
+def blacksmith(rows: list[int], intensities: list[int],
+               phase_offsets: list[int], activations: int) -> np.ndarray:
+    """Blacksmith-style non-uniform frequency/phase hammering.
+
+    Blacksmith [Jattke+, S&P'22] broke TRR by hammering aggressors with
+    *different* per-row frequencies and phases instead of uniform
+    round-robin.  Each row ``i`` is scheduled ``intensities[i]`` times
+    per period, rotated by ``phase_offsets[i]`` slots; the flattened
+    schedule is tiled to ``activations`` with light jitter.
+    """
+    if not (len(rows) == len(intensities) == len(phase_offsets)):
+        raise ValueError("rows, intensities and phase_offsets must align")
+    if not rows:
+        raise ValueError("at least one row is required")
+    if min(intensities) < 1:
+        raise ValueError("intensities must be positive")
+    period = sum(intensities)
+    events: list[tuple[float, int]] = []
+    for row, intensity, phase in zip(rows, intensities, phase_offsets):
+        spacing = period / intensity
+        for k in range(intensity):
+            events.append(((phase + k * spacing) % period, row))
+    events.sort()
+    schedule = np.array([row for _, row in events], dtype=np.int64)
+    repeats = -(-activations // period)
+    return np.tile(schedule, repeats)[:activations]
+
+
+def gang_dos_rows(gang_rows_by_bank: dict[int, list[int]],
+                  activations: int) -> list[tuple[int, int]]:
+    """Round-robin activations over the rows of one DREAM-C gang.
+
+    Returns (bank, row) pairs cycling through every row of the gang,
+    which drives the shared counter to the tracker threshold as fast as
+    the bus allows (the paper's worst-case DoS pattern).
+    """
+    flat = [(bank, row)
+            for bank, rows in sorted(gang_rows_by_bank.items())
+            for row in rows]
+    if not flat:
+        raise ValueError("gang must contain at least one row")
+    return [flat[i % len(flat)] for i in range(activations)]
+
+
+def as_trace(name: str, bank_rows: list[tuple[int, int]],
+             system: SystemConfig, subchannel: int = 0,
+             gap_ps: int = 0) -> MemoryTrace:
+    """Wrap explicit (bank, row) activations into a memory trace.
+
+    The attacker issues requests back-to-back (``gap_ps = 0`` default)
+    and every consecutive pair differs in row, so each request costs an
+    activation.
+    """
+    if not bank_rows:
+        raise ValueError("at least one access is required")
+    banks = np.array([bank for bank, _ in bank_rows], dtype=np.int16)
+    rows = np.array([row for _, row in bank_rows], dtype=np.int64)
+    org = system.organization
+    if banks.max() >= org.banks or rows.max() >= org.rows_per_bank:
+        raise ValueError("attack addresses exceed the organization")
+    return MemoryTrace(
+        name=name,
+        subchannel=np.full(len(bank_rows), subchannel, dtype=np.int8),
+        bank=banks,
+        row=rows,
+        gap_ps=np.full(len(bank_rows), gap_ps, dtype=np.int64),
+    )
+
+
+def hammer_trace(name: str, rows: np.ndarray, bank: int,
+                 system: SystemConfig, subchannel: int = 0,
+                 gap_ps: int = 0) -> MemoryTrace:
+    """Single-bank hammer pattern as a memory trace."""
+    return as_trace(name, [(bank, int(row)) for row in rows], system,
+                    subchannel, gap_ps)

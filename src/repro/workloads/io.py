@@ -1,0 +1,125 @@
+"""Trace persistence and external-trace import.
+
+Lets downstream users bring their own traces (e.g. from a real trace
+collector or another simulator) and lets long trace-generation runs be
+cached on disk:
+
+* **.npz** — the native format: the four trace arrays plus the name,
+  saved with numpy (compressed, exact round trip).
+* **text** — a simple interchange format, one request per line:
+  ``<hex-or-dec line address> [think-gap-ns]``.  Addresses are decoded
+  through the MOP mapper at load time, so external traces only need
+  physical line addresses.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.dram.address import MOPMapper
+from repro.workloads.trace import MemoryTrace
+
+#: Default think gap assigned to text-format lines that omit one (ns).
+DEFAULT_TEXT_GAP_NS = 50
+
+
+def save_npz(trace: MemoryTrace, path: str | pathlib.Path) -> None:
+    """Save a trace to the native compressed format."""
+    np.savez_compressed(
+        path,
+        name=np.array(trace.name),
+        subchannel=trace.subchannel,
+        bank=trace.bank,
+        row=trace.row,
+        gap_ps=trace.gap_ps,
+    )
+
+
+def load_npz(path: str | pathlib.Path) -> MemoryTrace:
+    """Load a trace saved by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        return MemoryTrace(
+            name=str(data["name"]),
+            subchannel=data["subchannel"],
+            bank=data["bank"],
+            row=data["row"],
+            gap_ps=data["gap_ps"],
+        )
+
+
+def _parse_text_line(line: str, number: int) -> tuple[int, int] | None:
+    stripped = line.split("#", 1)[0].strip()
+    if not stripped:
+        return None
+    fields = stripped.split()
+    if len(fields) > 2:
+        raise ValueError(
+            f"line {number}: expected 'address [gap-ns]', got "
+            f"{stripped!r}")
+    try:
+        address = int(fields[0], 0)  # accepts 0x..., 0o..., decimal
+    except ValueError:
+        raise ValueError(
+            f"line {number}: bad address {fields[0]!r}") from None
+    if address < 0:
+        raise ValueError(f"line {number}: address must be non-negative")
+    gap_ns = DEFAULT_TEXT_GAP_NS
+    if len(fields) == 2:
+        try:
+            gap_ns = int(fields[1])
+        except ValueError:
+            raise ValueError(
+                f"line {number}: bad gap {fields[1]!r}") from None
+    return address, gap_ns
+
+
+def load_text(path: str | pathlib.Path, mapper: MOPMapper,
+              name: str | None = None) -> MemoryTrace:
+    """Import an external text trace of line addresses.
+
+    Each non-empty, non-comment (``#``) line is
+    ``<line-address> [gap-ns]``; addresses beyond the device wrap
+    modulo the mapped line space.
+    """
+    path = pathlib.Path(path)
+    addresses: list[int] = []
+    gaps_ns: list[int] = []
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            parsed = _parse_text_line(line, number)
+            if parsed is None:
+                continue
+            address, gap_ns = parsed
+            addresses.append(address % mapper.total_lines)
+            gaps_ns.append(gap_ns)
+    if not addresses:
+        raise ValueError(f"{path} contains no requests")
+    lines = np.asarray(addresses, dtype=np.int64)
+    gaps_ps = np.asarray(gaps_ns, dtype=np.int64) * 1000
+    return MemoryTrace.from_lines(name or path.stem, lines, gaps_ps,
+                                  mapper)
+
+
+def save_text(trace: MemoryTrace, path: str | pathlib.Path,
+              mapper: MOPMapper) -> None:
+    """Export a trace to the text interchange format.
+
+    The DRAM coordinates are re-encoded into line addresses through the
+    mapper's inverse (column 0 of each request's row), so a round trip
+    preserves (sub-channel, bank, row) exactly.
+    """
+    from repro.dram.address import PhysicalLocation
+
+    with open(path, "w") as handle:
+        handle.write(f"# trace {trace.name}: <line address> <gap-ns>\n")
+        for i in range(len(trace)):
+            location = PhysicalLocation(
+                subchannel=int(trace.subchannel[i]),
+                bank=int(trace.bank[i]),
+                row=int(trace.row[i]),
+                col=0,
+            )
+            line = mapper.line_of(location)
+            handle.write(f"{line} {int(trace.gap_ps[i]) // 1000}\n")

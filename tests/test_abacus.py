@@ -1,0 +1,89 @@
+"""Unit tests for ABACuS (shared counters + SAV filtering)."""
+
+import pytest
+
+from repro.trackers.abacus import (AbacusTable, counter_bits_for_threshold,
+                                   storage_kb_per_bank)
+
+
+class TestStorageModel:
+    def test_six_bit_counter_at_125(self):
+        # Paper: at T_RH=125 each entry needs a 6-bit counter.
+        assert counter_bits_for_threshold(125) == 6
+
+    def test_storage_at_125(self):
+        # Paper: ~19 KB/bank at T_RH = 125.
+        assert storage_kb_per_bank(125) == pytest.approx(19.0, abs=0.5)
+
+    def test_storage_stays_high_at_500(self):
+        # ABACuS keeps 128K entries regardless of threshold.
+        assert storage_kb_per_bank(500) > 15.0
+
+
+class TestSAVFiltering:
+    def test_first_activation_per_bank_filtered(self):
+        table = AbacusTable(rows=16, num_banks=4, threshold=10)
+        assert table.observe(0, 5) == []
+        assert table.counters[5] == 0
+        assert table.sav_filtered == 1
+
+    def test_streaming_pattern_counts_once_per_sweep(self):
+        # Same RowID touched in every bank: SAV absorbs the whole sweep.
+        table = AbacusTable(rows=16, num_banks=4, threshold=10)
+        for bank in range(4):
+            table.observe(bank, 5)
+        assert table.counters[5] == 0
+        # Second sweep: each observe hits a set SAV bit -> one increment,
+        # then the SAV restarts with only that bank's bit.
+        table.observe(0, 5)
+        assert table.counters[5] == 1
+
+    def test_repeat_same_bank_counts(self):
+        table = AbacusTable(rows=16, num_banks=4, threshold=10)
+        table.observe(0, 5)
+        for _ in range(3):
+            table.observe(0, 5)
+        assert table.counters[5] == 3
+
+    def test_sav_restart_clears_other_banks(self):
+        table = AbacusTable(rows=16, num_banks=4, threshold=10)
+        table.observe(0, 5)
+        table.observe(1, 5)
+        table.observe(0, 5)  # increment + restart with bank 0 only
+        assert table.counters[5] == 1
+        table.observe(1, 5)  # bank 1 bit was cleared -> filtered again
+        assert table.counters[5] == 1
+
+
+class TestMitigation:
+    def test_threshold_triggers_all_banks(self):
+        table = AbacusTable(rows=16, num_banks=4, threshold=2)
+        table.observe(0, 5)
+        table.observe(0, 5)
+        demands = table.observe(0, 5)
+        assert len(demands) == 4
+        assert {d.bank for d in demands} == {0, 1, 2, 3}
+        assert all(d.row == 5 for d in demands)
+
+    def test_entry_resets_after_trigger(self):
+        table = AbacusTable(rows=16, num_banks=4, threshold=2)
+        for _ in range(3):
+            table.observe(0, 5)
+        assert table.counters[5] == 0
+        assert table.sav[5] == 0
+
+    def test_reset(self):
+        table = AbacusTable(rows=16, num_banks=4, threshold=10)
+        table.observe(0, 5)
+        table.observe(0, 5)
+        table.reset()
+        assert table.counters[5] == 0
+        assert table.sav[5] == 0
+
+    def test_storage_bits(self):
+        table = AbacusTable(rows=16, num_banks=32, threshold=62)
+        assert table.storage_bits() == 16 * (6 + 32)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            AbacusTable(rows=0, num_banks=4, threshold=1)

@@ -1,0 +1,92 @@
+"""Unit tests for the MOP4 address mapping."""
+
+import pytest
+
+from repro.dram.address import (LINE_BYTES, MOP_CHUNK_LINES, PAGE_LINES,
+                                MOPMapper)
+from repro.dram.device import Organization
+
+
+@pytest.fixture
+def mapper(organization):
+    return MOPMapper(organization)
+
+
+class TestBasicMapping:
+    def test_chunk_stays_in_one_bank(self, mapper):
+        locations = [mapper.map_line(i) for i in range(MOP_CHUNK_LINES)]
+        assert len({(l.subchannel, l.bank) for l in locations}) == 1
+        assert [l.col for l in locations] == [0, 1, 2, 3]
+
+    def test_next_chunk_moves_bank(self, mapper):
+        first = mapper.map_line(0)
+        second = mapper.map_line(MOP_CHUNK_LINES)
+        assert (first.subchannel, first.bank) != \
+            (second.subchannel, second.bank)
+
+    def test_subchannels_interleave_per_chunk(self, mapper):
+        a = mapper.map_line(0)
+        b = mapper.map_line(MOP_CHUNK_LINES)
+        assert a.subchannel != b.subchannel
+
+    def test_same_row_across_banks(self, mapper, organization):
+        # MOP keeps the RowID constant while striping across banks —
+        # the property behind set-associative hot counters (Section 5.2).
+        fanout = organization.subchannels * organization.banks
+        rows = {mapper.map_line(i * MOP_CHUNK_LINES).row
+                for i in range(fanout)}
+        assert rows == {0}
+
+    def test_row_advances_after_full_stripe(self, mapper):
+        stripe = mapper.lines_per_row_stripe
+        assert mapper.map_line(stripe - 1).row == 0
+        assert mapper.map_line(stripe).row == 1
+
+    def test_negative_line_rejected(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.map_line(-1)
+
+    def test_map_address_uses_lines(self, mapper):
+        assert mapper.map_address(LINE_BYTES * 5) == mapper.map_line(5)
+
+
+class TestInverse:
+    def test_roundtrip_sample(self, mapper):
+        for line in [0, 1, 5, 63, 64, 1000, 123_456,
+                     mapper.total_lines - 1]:
+            location = mapper.map_line(line)
+            assert mapper.line_of(location) == line
+
+    def test_rejects_out_of_range(self, mapper, organization):
+        from repro.dram.address import PhysicalLocation
+        bad = PhysicalLocation(0, organization.banks, 0, 0)
+        with pytest.raises(ValueError):
+            mapper.line_of(bad)
+
+
+class TestPageHelpers:
+    def test_page_stripes_over_sixteen_banks(self, mapper):
+        # A 4 KB page = 64 lines = 16 MOP4 chunks -> 16 (sc, bank) pairs.
+        assert len(mapper.banks_of_page(0)) == PAGE_LINES // MOP_CHUNK_LINES
+
+    def test_page_maps_to_single_row(self, mapper):
+        assert len(mapper.rows_of_page(0)) == 1
+        assert len(mapper.rows_of_page(7)) == 1
+
+    def test_page_first_line(self, mapper):
+        assert mapper.page_first_line(3) == 3 * PAGE_LINES
+
+
+class TestValidation:
+    def test_rejects_bad_chunk(self, organization):
+        with pytest.raises(ValueError):
+            MOPMapper(organization, chunk_lines=0)
+
+    def test_rejects_non_dividing_chunk(self):
+        org = Organization(cols_per_row=66)
+        with pytest.raises(ValueError):
+            MOPMapper(org, chunk_lines=4)
+
+    def test_total_lines(self, mapper, organization):
+        assert mapper.total_lines == (organization.total_rows
+                                      * organization.cols_per_row)

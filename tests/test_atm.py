@@ -1,0 +1,77 @@
+"""Unit tests for Active Target-Row Monitoring."""
+
+import pytest
+
+from repro.core.atm import DEFAULT_ATM_THRESHOLD, ActiveTargetMonitor
+
+
+class TestArming:
+    def test_starts_disarmed(self):
+        atm = ActiveTargetMonitor(4)
+        assert atm.monitored_row(0) is None
+
+    def test_arm_and_disarm(self):
+        atm = ActiveTargetMonitor(4)
+        atm.arm(1, 42)
+        assert atm.monitored_row(1) == 42
+        atm.disarm(1)
+        assert atm.monitored_row(1) is None
+        assert atm.count(1) == 0
+
+    def test_rearm_resets_counter(self):
+        atm = ActiveTargetMonitor(4, threshold=5)
+        atm.arm(0, 42)
+        for _ in range(3):
+            atm.observe(0, 42)
+        atm.arm(0, 42)
+        assert atm.count(0) == 0
+
+    def test_keeps_oldest_pending_row(self):
+        # The slot holds the row with the largest delay exposure: a newer
+        # arm attempt on a busy slot is rejected until disarm.
+        atm = ActiveTargetMonitor(4, threshold=5)
+        assert atm.arm(0, 42) is True
+        assert atm.arm(0, 43) is False
+        assert atm.monitored_row(0) == 42
+        atm.disarm(0)
+        assert atm.arm(0, 43) is True
+
+
+class TestObserve:
+    def test_counts_only_monitored_row(self):
+        atm = ActiveTargetMonitor(4, threshold=5)
+        atm.arm(0, 42)
+        atm.observe(0, 41)
+        atm.observe(1, 42)  # other bank
+        assert atm.count(0) == 0
+
+    def test_trigger_above_threshold(self):
+        atm = ActiveTargetMonitor(4, threshold=3)
+        atm.arm(0, 42)
+        assert not atm.observe(0, 42)
+        assert not atm.observe(0, 42)
+        assert not atm.observe(0, 42)
+        assert atm.observe(0, 42)  # 4th activation exceeds ATM-TH=3
+        assert atm.triggers == 1
+
+    def test_exposure_capped_at_threshold(self):
+        # The security property: a monitored row can absorb at most
+        # ATM-TH activations before the DRFM is forced.
+        atm = ActiveTargetMonitor(1, threshold=DEFAULT_ATM_THRESHOLD)
+        atm.arm(0, 7)
+        hits = 0
+        while not atm.observe(0, 7):
+            hits += 1
+        assert hits == DEFAULT_ATM_THRESHOLD
+
+
+class TestStorage:
+    def test_about_three_bytes_per_bank(self):
+        bits = ActiveTargetMonitor.storage_bits_per_bank()
+        assert bits <= 24  # the paper's ~3 bytes/bank
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActiveTargetMonitor(0)
+        with pytest.raises(ValueError):
+            ActiveTargetMonitor(1, threshold=0)

@@ -1,0 +1,132 @@
+"""Unit tests for the attack-pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.workloads.attacks import (as_trace, blacksmith, circular,
+                                     double_sided, gang_dos_rows,
+                                     hammer_trace, rmaq_abuse,
+                                     single_sided)
+
+
+class TestBasicPatterns:
+    def test_single_sided(self):
+        pattern = single_sided(42, 10)
+        assert len(pattern) == 10
+        assert (pattern == 42).all()
+
+    def test_double_sided_alternates(self):
+        pattern = double_sided(1, 2, 6)
+        assert pattern.tolist() == [1, 2, 1, 2, 1, 2]
+
+    def test_circular_repeats(self):
+        pattern = circular([1, 2, 3], 7)
+        assert pattern.tolist() == [1, 2, 3, 1, 2, 3, 1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            single_sided(1, 0)
+        with pytest.raises(ValueError):
+            circular([], 5)
+
+
+class TestRmaqAbuse:
+    def test_structure(self):
+        rows = list(range(5))
+        pattern = rmaq_abuse(rows, extra_on_target=10, rounds=1)
+        window = len(rows)
+        # Phase 1: target hammered for a full window.
+        assert (pattern[:window] == 0).all()
+        # Phase 2: the free extra activations.
+        assert (pattern[window:window + 10] == 0).all()
+        # Phase 3: circular over the remaining rows.
+        tail = pattern[window + 10:]
+        assert set(np.unique(tail)) == {1, 2, 3, 4}
+
+    def test_rounds_multiply_length(self):
+        rows = list(range(4))
+        one = rmaq_abuse(rows, extra_on_target=8, rounds=1)
+        three = rmaq_abuse(rows, extra_on_target=8, rounds=3)
+        assert len(three) == 3 * len(one)
+
+    def test_requires_filler_rows(self):
+        with pytest.raises(ValueError):
+            rmaq_abuse([1], extra_on_target=5, rounds=1)
+
+
+class TestBlacksmith:
+    def test_intensities_respected(self):
+        pattern = blacksmith([1, 2], intensities=[3, 1],
+                             phase_offsets=[0, 0], activations=40)
+        counts = np.bincount(pattern, minlength=3)
+        # Row 1 gets 3x the slots of row 2 in every period of 4.
+        assert counts[1] == 30
+        assert counts[2] == 10
+
+    def test_period_repeats(self):
+        pattern = blacksmith([5, 6], intensities=[1, 1],
+                             phase_offsets=[0, 1], activations=8)
+        assert pattern[:2].tolist() == pattern[2:4].tolist()
+
+    def test_phase_shifts_order(self):
+        early = blacksmith([5, 6], [1, 1], [0, 1], 2)
+        late = blacksmith([5, 6], [1, 1], [1, 0], 2)
+        assert early.tolist() == [5, 6]
+        assert late.tolist() == [6, 5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="align"):
+            blacksmith([1], [1, 2], [0], 10)
+        with pytest.raises(ValueError, match="at least one"):
+            blacksmith([], [], [], 10)
+        with pytest.raises(ValueError, match="positive"):
+            blacksmith([1], [0], [0], 10)
+
+    def test_non_uniform_schedule_still_bounded_by_dream(self):
+        # The TRR-breaking pattern does not faze counting defenses.
+        from repro.analysis.harness import AttackHarness
+        from repro.core.dream_c import dream_c_factory
+
+        pattern = blacksmith([10, 12, 14], intensities=[8, 2, 1],
+                             phase_offsets=[0, 3, 7], activations=4_000)
+        harness = AttackHarness(dream_c_factory(500), seed=3)
+        result = harness.run(pattern, bank=0)
+        assert result.max_unmitigated <= 500
+
+
+class TestGangDoS:
+    def test_round_robin_over_gang(self):
+        gang = {0: [10], 1: [20], 2: [30]}
+        accesses = gang_dos_rows(gang, 7)
+        assert accesses == [(0, 10), (1, 20), (2, 30),
+                            (0, 10), (1, 20), (2, 30), (0, 10)]
+
+    def test_rejects_empty_gang(self):
+        with pytest.raises(ValueError):
+            gang_dos_rows({}, 5)
+
+
+class TestTraceWrapping:
+    def test_as_trace(self):
+        system = SystemConfig.baseline(64)
+        trace = as_trace("attack", [(0, 1), (1, 2)], system, subchannel=1,
+                         gap_ps=5)
+        assert trace.name == "attack"
+        assert trace.subchannel.tolist() == [1, 1]
+        assert trace.bank.tolist() == [0, 1]
+        assert trace.gap_ps.tolist() == [5, 5]
+
+    def test_range_validation(self):
+        system = SystemConfig.baseline(64)
+        with pytest.raises(ValueError, match="exceed"):
+            as_trace("bad", [(999, 1)], system)
+        with pytest.raises(ValueError, match="exceed"):
+            as_trace("bad", [(0, 10 ** 9)], system)
+
+    def test_hammer_trace(self):
+        system = SystemConfig.baseline(64)
+        trace = hammer_trace("h", single_sided(3, 4), bank=2,
+                             system=system)
+        assert trace.bank.tolist() == [2, 2, 2, 2]
+        assert trace.row.tolist() == [3, 3, 3, 3]

@@ -1,0 +1,75 @@
+"""Unit tests for trace building and bandwidth calibration."""
+
+import pytest
+
+from repro.sim.config import SimConfig, SystemConfig
+from repro.sim.runner import run_simulation
+from repro.workloads.builder import (build_traces, calibrate_gap_ps,
+                                     clear_cache)
+from repro.workloads.profiles import profile
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture
+def system():
+    return SystemConfig.baseline(refs_per_window=64, num_cores=2)
+
+
+class TestBuildTraces:
+    def test_one_trace_per_core(self, system):
+        sim = SimConfig(requests_per_core=500, seed=1)
+        traces = build_traces("blender", system, sim, calibrate=False)
+        assert len(traces) == system.num_cores
+        assert all(len(trace) == 500 for trace in traces)
+
+    def test_accepts_profile_object(self, system):
+        sim = SimConfig(requests_per_core=200, seed=1)
+        traces = build_traces(profile("mcf"), system, sim, calibrate=False)
+        assert traces[0].name == "mcf"
+
+    def test_cache_returns_same_objects(self, system):
+        sim = SimConfig(requests_per_core=200, seed=1)
+        first = build_traces("mcf", system, sim, calibrate=False)
+        second = build_traces("mcf", system, sim, calibrate=False)
+        assert first is second
+
+    def test_cache_distinguishes_seeds(self, system):
+        first = build_traces("mcf", system,
+                             SimConfig(requests_per_core=200, seed=1),
+                             calibrate=False)
+        second = build_traces("mcf", system,
+                              SimConfig(requests_per_core=200, seed=2),
+                              calibrate=False)
+        assert first is not second
+
+    def test_cache_bounded(self, system):
+        from repro.workloads import builder
+        sim = SimConfig(requests_per_core=100, seed=1)
+        for name in ("mcf", "add", "blender", "tc", "cc"):
+            build_traces(name, system, sim, calibrate=False)
+        assert len(builder._cache) <= builder._CACHE_CAPACITY
+
+
+class TestCalibration:
+    def test_calibrated_bw_near_target(self, system):
+        # Mid-intensity workload: the one-step correction should land the
+        # realised utilisation within a few points of the target.
+        sim = SimConfig(requests_per_core=4000, seed=3)
+        traces = build_traces("roms", system, sim)
+        result = run_simulation(system, traces, sim)
+        target = profile("roms").bw_util
+        assert result.bus_utilization == pytest.approx(target, abs=0.12)
+
+    def test_calibration_orders_workloads(self, system):
+        light = calibrate_gap_ps(profile("blender"), system, seed=3)
+        heavy = calibrate_gap_ps(profile("add"), system, seed=3)
+        assert light > heavy
+
+    def test_gap_nonnegative(self, system):
+        assert calibrate_gap_ps(profile("tc"), system, seed=3) >= 0

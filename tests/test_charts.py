@@ -1,0 +1,66 @@
+"""Unit tests for the terminal bar-chart helpers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, chart_average_row, chart_result
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        text = bar_chart([("a", 10.0), ("b", 5.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_values_render_empty(self):
+        text = bar_chart([("a", 0.0), ("b", 2.0)], width=10)
+        assert text.splitlines()[0].count("#") == 0
+
+    def test_labels_aligned(self):
+        text = bar_chart([("long-name", 1.0), ("x", 1.0)])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_values_shown(self):
+        assert "3.14%" in bar_chart([("pi", 3.14)])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+        with pytest.raises(ValueError):
+            bar_chart([("a", 1.0)], width=2)
+
+
+class TestChartResult:
+    def test_sweep_rows_chart_average(self):
+        rows = [
+            {"workload": "mcf", "a": 1.0, "b": 2.0},
+            {"workload": "AVERAGE", "a": 3.0, "b": 6.0},
+        ]
+        chart = chart_result(rows)
+        assert chart is not None
+        assert "a" in chart and "b" in chart
+        assert "6.00" in chart
+
+    def test_no_average_row_returns_none(self):
+        rows = [{"workload": "mcf", "a": 1.0}]
+        assert chart_average_row(rows, "workload") is None
+
+    def test_generic_rows(self):
+        rows = [{"design": "x", "kb": 4.0}, {"design": "y", "kb": 2.0}]
+        chart = chart_result(rows)
+        assert chart is not None
+        assert "x" in chart and "y" in chart
+
+    def test_unchartable_returns_none(self):
+        assert chart_result([]) is None
+        assert chart_result([{"a": "only", "b": "strings"}]) is None
+
+
+class TestCliFlag:
+    def test_run_with_chart(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "--chart", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # bars rendered

@@ -1,0 +1,81 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.experiments == ["table1"]
+        assert not args.full
+        assert args.seed == 2025
+
+    def test_run_full_flag(self):
+        args = build_parser().parse_args(["run", "--full", "fig9"])
+        assert args.full
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+        assert "table6" in out
+
+    def test_run_analytic(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Graphene storage" in out
+        assert "finished in" in out
+
+    def test_storage(self, capsys):
+        assert main(["storage", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "DREAM-C" in out
+        assert "Graphene" in out
+        assert "7.9x" in out
+
+    def test_security(self, capsys):
+        assert main(["security", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "1/100" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_run_json(self, capsys):
+        assert main(["run", "--json", "table6"]) == 0
+        out = capsys.readouterr().out
+        assert '"experiment": "table6"' in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "table1", "table6",
+                     "-o", str(target)]) == 0
+        content = target.read_text()
+        assert "# DREAM reproduction report" in content
+        assert "## table1" in content
+        assert "## table6" in content
+
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "## table4" in out
+
+    def test_plan_recommends_design(self, capsys):
+        assert main(["plan", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "dream-r-mint" in out
+        assert "window = 99" in out
+
+    def test_plan_tight_budget(self, capsys):
+        assert main(["plan", "250", "--budget", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "dream-c" in out

@@ -1,0 +1,63 @@
+"""Unit tests for the DRAM command vocabulary and blocking footprints."""
+
+import pytest
+
+from repro.dram.commands import (MITIGATING, ROW_CLOSING, Command,
+                                 IssuedCommand, blocking_banks)
+
+
+class TestCommandSets:
+    def test_row_closing(self):
+        assert Command.PRE in ROW_CLOSING
+        assert Command.PRE_SAMPLE in ROW_CLOSING
+        assert Command.ACT not in ROW_CLOSING
+
+    def test_mitigating(self):
+        assert MITIGATING == {Command.DRFM_SB, Command.DRFM_AB, Command.NRR}
+
+    def test_str_rendering(self):
+        assert str(Command.PRE_SAMPLE) == "PRE+S"
+        assert str(Command.DRFM_SB) == "DRFMsb"
+
+
+class TestBlockingFootprints:
+    def test_nrr_blocks_one_bank(self):
+        assert blocking_banks(Command.NRR, 5) == (5,)
+
+    def test_drfmsb_blocks_same_position_in_every_group(self):
+        banks = blocking_banks(Command.DRFM_SB, 5, num_banks=32,
+                               banks_per_group=4)
+        assert len(banks) == 8
+        assert all(bank % 4 == 1 for bank in banks)
+        assert 5 in banks
+
+    def test_drfmsb_position_zero(self):
+        banks = blocking_banks(Command.DRFM_SB, 0)
+        assert banks == (0, 4, 8, 12, 16, 20, 24, 28)
+
+    def test_drfmab_blocks_all(self):
+        assert blocking_banks(Command.DRFM_AB, 3) == tuple(range(32))
+
+    def test_ref_blocks_all(self):
+        assert blocking_banks(Command.REF, 0) == tuple(range(32))
+
+    def test_non_blocking_command_raises(self):
+        with pytest.raises(ValueError):
+            blocking_banks(Command.ACT, 0)
+
+    def test_footprint_sizes_match_paper(self):
+        # NRR stalls 1 bank; DRFMsb 8; DRFMab 32 (Figure 1).
+        assert len(blocking_banks(Command.NRR, 0)) == 1
+        assert len(blocking_banks(Command.DRFM_SB, 0)) == 8
+        assert len(blocking_banks(Command.DRFM_AB, 0)) == 32
+
+
+class TestIssuedCommand:
+    def test_describe_bank_scoped(self):
+        issued = IssuedCommand(1000, Command.ACT, subchannel=1, bank=3,
+                               row=17)
+        assert issued.describe() == "1000ps ACT sc1.b3.r17"
+
+    def test_describe_channel_scoped(self):
+        issued = IssuedCommand(50, Command.REF, subchannel=0)
+        assert issued.describe() == "50ps REF sc0"

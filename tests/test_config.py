@@ -1,0 +1,54 @@
+"""Unit tests for system/simulation configuration."""
+
+import pytest
+
+from repro.dram.timing import ns
+from repro.sim.config import SimConfig, SystemConfig
+
+
+class TestSystemConfig:
+    def test_baseline_shape(self):
+        system = SystemConfig.baseline()
+        assert system.num_cores == 8
+        assert system.organization.banks == 32
+        assert system.timing.refs_per_window == 256
+        assert system.organization.rows_per_bank == 4096
+
+    def test_full_size(self):
+        system = SystemConfig.full_size()
+        assert system.timing.refs_per_window == 8192
+        assert system.organization.rows_per_bank == 128 * 1024
+
+    def test_prac_variant(self):
+        system = SystemConfig.prac(64)
+        assert system.timing.t_rp == ns(36)
+        assert system.organization.rows_per_bank == 1024
+
+    def test_with_cores(self):
+        system = SystemConfig.baseline().with_cores(16)
+        assert system.num_cores == 16
+        assert system.organization.banks == 32
+
+    def test_total_mlp(self):
+        system = SystemConfig.baseline()
+        assert system.total_mlp == system.num_cores * system.mlp_per_core
+
+    def test_peak_rate(self):
+        system = SystemConfig.baseline()
+        expected = 2 / system.timing.t_bus
+        assert system.peak_lines_per_ps == pytest.approx(expected)
+
+
+class TestSimConfig:
+    def test_defaults(self):
+        sim = SimConfig()
+        assert sim.requests_per_core > 0
+        assert sim.seed == 12345
+
+    def test_scaled(self):
+        sim = SimConfig(requests_per_core=1000).scaled(0.5)
+        assert sim.requests_per_core == 500
+
+    def test_scaled_floors_at_one(self):
+        sim = SimConfig(requests_per_core=10).scaled(0.001)
+        assert sim.requests_per_core == 1

@@ -1,0 +1,66 @@
+"""Unit tests for the closed-loop core model."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.core import Core
+from repro.workloads.trace import MemoryTrace
+
+
+def _trace(length=10, gap=100):
+    return MemoryTrace(
+        name="unit",
+        subchannel=np.zeros(length, dtype=np.int8),
+        bank=np.arange(length, dtype=np.int16) % 4,
+        row=np.arange(length, dtype=np.int64),
+        gap_ps=np.full(length, gap, dtype=np.int64),
+    )
+
+
+class TestFetch:
+    def test_fetch_returns_request_and_gap(self):
+        core = Core(0, _trace(), budget=5, mlp=2)
+        request, gap = core.fetch(slot=0)
+        assert request.core == 0
+        assert request.slot == 0
+        assert request.index == 0
+        assert gap == 100
+
+    def test_fetch_decodes_coordinates(self):
+        core = Core(0, _trace(), budget=5, mlp=1)
+        request, _ = core.fetch(0)
+        assert (request.subchannel, request.bank, request.row) == (0, 0, 0)
+
+    def test_budget_exhaustion(self):
+        core = Core(0, _trace(length=3), budget=2, mlp=1)
+        assert core.fetch(0) is not None
+        assert core.fetch(0) is not None
+        assert core.fetch(0) is None
+
+    def test_trace_wraps(self):
+        core = Core(0, _trace(length=3), budget=7, mlp=1)
+        indices = [core.fetch(0)[0].index for _ in range(7)]
+        assert indices == [0, 1, 2, 0, 1, 2, 0]
+
+
+class TestCompletion:
+    def test_finish_time_recorded_on_last(self):
+        core = Core(0, _trace(), budget=3, mlp=1)
+        for _ in range(3):
+            core.fetch(0)
+        core.complete(10)
+        core.complete(20)
+        assert core.finish_time_ps is None
+        core.complete(30)
+        assert core.finish_time_ps == 30
+        assert core.done
+
+
+class TestValidation:
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            Core(0, _trace(), budget=0, mlp=1)
+
+    def test_rejects_bad_mlp(self):
+        with pytest.raises(ValueError):
+            Core(0, _trace(), budget=1, mlp=0)

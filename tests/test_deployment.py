@@ -1,0 +1,103 @@
+"""Unit tests for the deployment planner/validator."""
+
+import pytest
+
+from repro.core.deployment import (Design, DeploymentPlan, Finding,
+                                   Severity, plan_deployment,
+                                   validate_deployment)
+
+
+class TestDreamCValidation:
+    def test_table6_point_is_clean(self):
+        plan = validate_deployment(Design.DREAM_C, 500)
+        assert plan.ok
+        assert plan.parameters["gang_size"] == 128
+        assert plan.sram_bytes_per_bank == pytest.approx(1024.0, rel=0.01)
+
+    def test_below_base_threshold_errors(self):
+        plan = validate_deployment(Design.DREAM_C, 100)
+        assert not plan.ok
+        assert any("Table 6" in f.message for f in plan.findings)
+
+    def test_deep_vertical_sharing_warns(self):
+        plan = validate_deployment(Design.DREAM_C, 2000)
+        assert plan.ok  # warning, not error
+        assert any("back-to-back" in f.message for f in plan.findings)
+
+    def test_missing_rate_limit_warns(self):
+        plan = validate_deployment(Design.DREAM_C, 500,
+                                   rate_limited=False)
+        assert any("RMAQ" in f.message for f in plan.findings)
+
+
+class TestMintValidation:
+    def test_paper_point(self):
+        plan = validate_deployment(Design.DREAM_R_MINT, 2000)
+        assert plan.ok
+        assert plan.parameters["window"] == 99
+        assert plan.parameters["rmaq_entries"] >= 2
+        # ATM (~3 bytes) + RMAQ (~5 bytes).
+        assert 3 <= plan.sram_bytes_per_bank <= 16
+
+    def test_small_window_penalty_warned(self):
+        plan = validate_deployment(Design.DREAM_R_MINT, 500)
+        assert any("tolerated threshold" in f.message
+                   for f in plan.findings)
+
+    def test_too_low_threshold_errors(self):
+        plan = validate_deployment(Design.DREAM_R_MINT, 25)
+        assert not plan.ok
+
+    def test_low_threshold_suggests_dream_c(self):
+        plan = validate_deployment(Design.DREAM_R_MINT, 400)
+        assert any("DREAM-C" in f.message for f in plan.findings)
+
+
+class TestParaValidation:
+    def test_paper_point(self):
+        plan = validate_deployment(Design.DREAM_R_PARA, 2000)
+        assert plan.ok
+        assert plan.parameters["probability"] == pytest.approx(
+            20 / 1990)
+
+    def test_recommends_mint(self):
+        plan = validate_deployment(Design.DREAM_R_PARA, 2000)
+        assert any("MINT" in f.message for f in plan.findings)
+
+    def test_impossible_threshold_errors(self):
+        plan = validate_deployment(Design.DREAM_R_PARA, 12)
+        assert not plan.ok
+
+
+class TestPlanner:
+    def test_high_threshold_gets_dream_r(self):
+        plan = plan_deployment(2000, slowdown_budget_percent=5.0)
+        assert plan.design is Design.DREAM_R_MINT
+        assert plan.ok
+
+    def test_tight_budget_gets_dream_c(self):
+        plan = plan_deployment(500, slowdown_budget_percent=3.0)
+        assert plan.design is Design.DREAM_C
+        assert plan.ok
+
+    def test_generous_budget_keeps_dream_r_at_500(self):
+        plan = plan_deployment(500, slowdown_budget_percent=10.0)
+        assert plan.design is Design.DREAM_R_MINT
+
+    def test_describe_renders(self):
+        text = plan_deployment(1000).describe()
+        assert "design:" in text
+        assert "SRAM per bank" in text
+
+
+class TestPlanBasics:
+    def test_negative_threshold(self):
+        plan = validate_deployment(Design.DREAM_C, 0)
+        assert not plan.ok
+
+    def test_finding_severities(self):
+        plan = DeploymentPlan(Design.DREAM_C, 500)
+        plan.findings.append(Finding(Severity.WARNING, "w"))
+        assert plan.ok
+        plan.findings.append(Finding(Severity.ERROR, "e"))
+        assert not plan.ok

@@ -1,0 +1,41 @@
+"""Property tests for the deployment planner: total and never-raising."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deployment import (Design, plan_deployment,
+                                   validate_deployment)
+
+
+class TestValidatorTotality:
+    @given(design=st.sampled_from(list(Design)),
+           t_rh=st.integers(min_value=-10, max_value=100_000),
+           atm=st.integers(min_value=1, max_value=100),
+           limited=st.booleans())
+    @settings(max_examples=150, deadline=None)
+    def test_never_raises(self, design, t_rh, atm, limited):
+        plan = validate_deployment(design, t_rh, atm_threshold=atm,
+                                   rate_limited=limited)
+        # Totality: a plan always comes back, renderable, with findings
+        # explaining any rejection.
+        assert plan.describe()
+        if not plan.ok:
+            assert plan.findings
+
+    @given(t_rh=st.integers(min_value=125, max_value=50_000),
+           budget=st.floats(min_value=0.1, max_value=50.0,
+                            allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_planner_always_returns_buildable_plan(self, t_rh, budget):
+        plan = plan_deployment(t_rh, budget)
+        assert plan.ok
+        assert plan.sram_bytes_per_bank >= 0
+
+    @given(t_rh=st.sampled_from([125, 250, 500, 1000, 2000, 4000]))
+    def test_tighter_budget_never_picks_costlier_design(self, t_rh):
+        generous = plan_deployment(t_rh, slowdown_budget_percent=50.0)
+        tight = plan_deployment(t_rh, slowdown_budget_percent=0.5)
+        # A tight budget must fall back to the near-zero-slowdown
+        # counter design.
+        assert tight.design is Design.DREAM_C
+        assert generous.ok and tight.ok

@@ -1,0 +1,77 @@
+"""Unit tests for organization and device wiring."""
+
+import pytest
+
+from repro.dram.commands import Command
+from repro.dram.device import (FULL_SIZE_ROWS_PER_BANK, Device, Organization)
+from repro.dram.timing import DDR5Timing
+
+
+class TestOrganization:
+    def test_full_size_matches_table2(self):
+        org = Organization.full_size()
+        assert org.channels == 1
+        assert org.subchannels == 2
+        assert org.banks == 32
+        assert org.rows_per_bank == 128 * 1024
+        assert org.bankgroups == 8
+
+    def test_full_size_capacity_is_32gb(self):
+        org = Organization.full_size()
+        assert org.capacity_bytes == 32 * 1024 ** 3
+        assert org.row_bytes == 4 * 1024
+
+    def test_scaled_preserves_rows_per_ref(self):
+        full = Organization.full_size()
+        scaled = Organization.scaled(256)
+        assert full.rows_per_bank // 8192 == scaled.rows_per_bank // 256
+
+    def test_scaled_rejects_non_divisor(self):
+        with pytest.raises(ValueError):
+            Organization.scaled(100)
+
+    def test_total_counts(self):
+        org = Organization.scaled(64)
+        assert org.total_banks == 64
+        assert org.total_rows == 64 * 1024
+
+    def test_validate_rejects_bad_groups(self):
+        with pytest.raises(ValueError):
+            Organization(banks=30).validate()
+
+    def test_validate_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Organization(rows_per_bank=0).validate()
+
+    def test_full_size_constant(self):
+        assert FULL_SIZE_ROWS_PER_BANK == 131_072
+
+
+class TestDevice:
+    def test_builds_subchannels(self, timing, organization):
+        device = Device(organization, timing)
+        assert len(device.subchannels) == organization.subchannels
+        assert device.subchannel(1).index == 1
+
+    def test_aggregates_activations(self, timing, organization):
+        device = Device(organization, timing)
+        device.subchannel(0).banks[0].activate(1, 0)
+        device.subchannel(1).banks[5].activate(2, 0)
+        assert device.total_activations() == 2
+
+    def test_aggregates_rlp(self, timing, organization):
+        device = Device(organization, timing)
+        sc = device.subchannel(0)
+        sc.banks[0].activate(1, 0)
+        sc.banks[0].precharge(0, sample=True)
+        sc.issue_mitigation(Command.DRFM_SB, 0, 1_000_000)
+        assert device.total_mitigated_rows() == 1
+        assert device.average_rlp() == pytest.approx(1.0)
+
+    def test_validates_inputs(self, timing):
+        with pytest.raises(ValueError):
+            Device(Organization(banks=30), timing)
+
+    def test_single_channel_only(self, timing):
+        with pytest.raises(NotImplementedError, match="one channel"):
+            Device(Organization(channels=2), timing)

@@ -1,0 +1,173 @@
+"""Unit tests for the victim-disturbance / bit-flip model."""
+
+import pytest
+
+from repro.dram.disturbance import (DISTANCE2_WEIGHT, DisturbanceConfig,
+                                    DisturbanceModel, RefreshMode)
+
+
+def make_model(t_rh=100, mode=RefreshMode.BOUNDED, p2=0.0, fractal_p=0.5,
+               rows=1024, seed=1):
+    config = DisturbanceConfig(t_rh=t_rh, mode=mode, p2=p2,
+                               fractal_p=fractal_p)
+    return DisturbanceModel(config, rows_per_bank=rows, seed=seed)
+
+
+class TestAccumulation:
+    def test_neighbours_disturbed(self):
+        model = make_model()
+        model.on_activation(0, 10, 0)
+        assert model.charge(0, 9) == 1.0
+        assert model.charge(0, 11) == 1.0
+        assert model.charge(0, 8) == DISTANCE2_WEIGHT
+        assert model.charge(0, 12) == DISTANCE2_WEIGHT
+        assert model.charge(0, 10) == 0.0
+
+    def test_double_sided_accumulates_twice(self):
+        model = make_model()
+        model.on_activation(0, 10, 0)
+        model.on_activation(0, 12, 0)
+        assert model.charge(0, 11) == 2.0
+
+    def test_edge_rows_clipped(self):
+        model = make_model(rows=16)
+        model.on_activation(0, 0, 0)
+        model.on_activation(0, 15, 0)
+        assert model.charge(0, 14) == 1.0
+        assert model.max_charge() >= 1.0  # no crash at the edges
+
+    def test_banks_independent(self):
+        model = make_model()
+        model.on_activation(0, 10, 0)
+        assert model.charge(1, 9) == 0.0
+
+
+class TestFlips:
+    def test_flip_at_threshold(self):
+        model = make_model(t_rh=50)
+        for _ in range(49):
+            model.on_activation(0, 10, 0)
+        assert not model.flipped
+        model.on_activation(0, 10, 123)
+        assert model.flipped
+        flip = model.flips[0]
+        assert flip.bank == 0
+        assert flip.row in (9, 11)
+        assert flip.time_ps == 123
+
+    def test_double_sided_flips_in_half_the_acts(self):
+        single = make_model(t_rh=100)
+        for i in range(99):
+            single.on_activation(0, 10, i)
+        assert not single.flipped
+        double = make_model(t_rh=100)
+        for i in range(50):
+            double.on_activation(0, 10, i)
+            double.on_activation(0, 12, i)
+        assert double.flipped  # victim row 11 took 2 units per pair
+
+    def test_counting_restarts_after_flip(self):
+        model = make_model(t_rh=10)
+        for i in range(25):
+            model.on_activation(0, 10, i)
+        # 25 acts -> two crossings of 10 on each neighbour.
+        crossings = [f for f in model.flips if f.row == 9]
+        assert len(crossings) == 2
+
+
+class TestVictimRefresh:
+    def test_mitigation_clears_neighbours(self):
+        model = make_model(t_rh=100)
+        for _ in range(30):
+            model.on_activation(0, 10, 0)
+        model.on_mitigation(0, 10, 0)
+        assert model.charge(0, 9) == 0.0
+        assert model.charge(0, 11) == 0.0
+        assert model.victim_refreshes >= 2
+
+    def test_transitive_disturbance_from_victim_refresh(self):
+        # The mitigation itself activates the victims, disturbing the
+        # distance-2 rows: the effect behind the DRFM rate limit.
+        model = make_model(t_rh=100, p2=0.0)
+        model.on_mitigation(0, 10, 0)
+        assert model.charge(0, 8) == 1.0
+        assert model.charge(0, 12) == 1.0
+
+    def test_transitive_attack_flips_distance2(self):
+        # Repeated mitigation of the same aggressor (no rate limit, no
+        # distance-2 coverage) eventually flips the distance-2 row.
+        model = make_model(t_rh=50, p2=0.0)
+        for i in range(50):
+            model.on_mitigation(0, 10, i)
+        assert any(flip.row in (8, 12) for flip in model.flips)
+
+    def test_bounded_p2_protects_distance2(self):
+        # With certain distance-2 refresh, the transitive attack fails.
+        model = make_model(t_rh=50, p2=1.0)
+        for i in range(200):
+            model.on_mitigation(0, 10, i)
+        assert not any(flip.row in (8, 12) for flip in model.flips)
+
+    def test_fractal_protects_distance2_probabilistically(self):
+        model = make_model(t_rh=50, mode=RefreshMode.FRACTAL,
+                           fractal_p=0.9)
+        for i in range(200):
+            model.on_mitigation(0, 10, i)
+        # With p=0.9 per mitigation, distance-2 charge stays far below
+        # the threshold with overwhelming probability.
+        assert not any(flip.row in (8, 12) for flip in model.flips)
+
+    def test_periodic_refresh_clears_slice(self):
+        model = make_model()
+        model.on_activation(0, 10, 0)
+        model.on_periodic_refresh(0, 8, 8)
+        assert model.charge(0, 9) == 0.0
+        assert model.charge(0, 11) == 0.0
+
+
+class TestValidation:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            make_model(t_rh=0)
+
+    def test_rejects_bad_p2(self):
+        with pytest.raises(ValueError):
+            DisturbanceModel(DisturbanceConfig(p2=1.5), 16)
+
+
+class TestEndToEnd:
+    """Attack harness + disturbance model: defended vs undefended."""
+
+    def _run(self, factory, t_rh_device, acts=6_000):
+        from repro.analysis.harness import AttackHarness
+        from repro.workloads.attacks import double_sided
+
+        harness = AttackHarness(factory, seed=31)
+        model = DisturbanceModel(
+            DisturbanceConfig(t_rh=t_rh_device), rows_per_bank=512)
+        harness.attach_disturbance(model)
+        harness.run(double_sided(10, 12, acts), bank=0)
+        return model
+
+    def test_undefended_memory_flips(self):
+        from repro.mc.policy import no_mitigation_factory
+        model = self._run(no_mitigation_factory(), t_rh_device=4000)
+        assert model.flipped
+
+    def test_mint_dream_r_prevents_flips(self):
+        from repro.core.dream_r import dream_r_mint_factory
+        # Defense configured for the device's double-sided threshold.
+        model = self._run(dream_r_mint_factory(2000), t_rh_device=4000)
+        assert not model.flipped
+
+    def test_dream_c_prevents_flips(self):
+        from repro.core.dream_c import dream_c_factory
+        model = self._run(dream_c_factory(500), t_rh_device=1000)
+        assert not model.flipped
+
+    def test_underprovisioned_defense_fails(self):
+        from repro.core.dream_c import dream_c_factory
+        # A defense built for T_RH=1000 cannot protect a device that
+        # flips at 300 (accumulated double-sided disturbance).
+        model = self._run(dream_c_factory(1000), t_rh_device=300)
+        assert model.flipped

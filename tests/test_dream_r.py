@@ -1,0 +1,213 @@
+"""Unit tests for DREAM-R (delayed-DRFM mitigation, Section 4)."""
+
+import pytest
+
+from repro.core.dream_r import (DreamRMintPolicy, DreamRParaPolicy,
+                                dream_r_mint_factory, dream_r_para_factory)
+from repro.dram.commands import Command
+from repro.dram.subchannel import SubChannel
+from repro.mc.controller import SubChannelController
+
+
+def make_controller(timing, organization, policy):
+    subchannel = SubChannel(0, timing, organization.banks,
+                            organization.banks_per_group,
+                            record_mitigations=True)
+    controller = SubChannelController(subchannel, timing, policy)
+    return controller, subchannel
+
+
+class TestDreamRParaDecoupling:
+    def test_first_selection_samples_without_drfm(self, timing,
+                                                  organization, context):
+        # Listing 1 scenario 1: DAR empty -> sample, no DRFM.
+        policy = DreamRParaPolicy(context, t_rh=2000, probability=1.0)
+        controller, subchannel = make_controller(timing, organization,
+                                                 policy)
+        controller.service(0, 5, 0)
+        assert subchannel.banks[0].dar.row == 5
+        assert subchannel.stats.mitigation_commands == 0
+
+    def test_second_selection_forces_drfm(self, timing, organization,
+                                          context):
+        # Listing 1 scenario 3: DAR full -> DRFM first, then resample.
+        policy = DreamRParaPolicy(context, t_rh=2000, probability=1.0)
+        controller, subchannel = make_controller(timing, organization,
+                                                 policy)
+        finish = controller.service(0, 5, 0)
+        controller.service(0, 6, finish)
+        assert subchannel.stats.mitigation_commands == 1
+        event = subchannel.mitigation_log[0]
+        assert event.command is Command.DRFM_SB
+        assert (0, 5) in event.mitigated_rows
+        # The new selection is now waiting in the DAR.
+        assert subchannel.banks[0].dar.row == 6
+
+    def test_delayed_drfm_harvests_other_banks(self, timing, organization,
+                                               context):
+        # The whole point of DREAM-R: banks of the same DRFMsb group that
+        # sampled during the delay get mitigated by the same command.
+        policy = DreamRParaPolicy(context, t_rh=2000, probability=1.0)
+        controller, subchannel = make_controller(timing, organization,
+                                                 policy)
+        now = 0
+        for bank in (0, 4, 8, 12):  # same DRFMsb position
+            now = controller.service(bank, 100 + bank, now)
+        controller.service(0, 200, now)  # second selection on bank 0
+        event = subchannel.mitigation_log[0]
+        assert event.rlp == 4
+
+    def test_unselected_activations_run_in_shadow(self, timing,
+                                                  organization, context):
+        # Listing 1 scenario 2: no selection -> regular precharge, the
+        # pending DAR survives.
+        policy = DreamRParaPolicy(context, t_rh=2000, probability=1.0)
+        controller, subchannel = make_controller(timing, organization,
+                                                 policy)
+        finish = controller.service(0, 5, 0)
+        policy.probability = 0.0
+        controller.service(0, 6, finish)
+        assert subchannel.banks[0].dar.row == 5
+        assert subchannel.stats.mitigation_commands == 0
+
+    def test_uses_atm_adjusted_probability(self, context):
+        policy = DreamRParaPolicy(context, t_rh=2000)
+        # Table 4: p ~ 1/99 with ATM, not 1/85.
+        assert policy.probability == pytest.approx(20 / 1990)
+
+    def test_atm_triggers_early_drfm(self, timing, organization, context):
+        policy = DreamRParaPolicy(context, t_rh=2000, probability=1.0,
+                                  atm_threshold=3)
+        controller, subchannel = make_controller(timing, organization,
+                                                 policy)
+        finish = controller.service(0, 5, 0)  # sampled, DAR=5
+        policy.probability = 0.0  # stop further selections
+        for _ in range(5):
+            # Hammer the sampled row: conflict access forces re-ACTs.
+            finish = controller.service(0, 6, finish)
+            finish = controller.service(0, 5, finish)
+        assert policy.atm.triggers >= 1
+        assert subchannel.stats.mitigation_commands >= 1
+        assert any((0, 5) in event.mitigated_rows
+                   for event in subchannel.mitigation_log)
+
+    def test_rmaq_skips_recent_rows(self, timing, organization, context):
+        policy = DreamRParaPolicy(context, t_rh=2000, probability=1.0,
+                                  rmaq_capacity=4)
+        controller, subchannel = make_controller(timing, organization,
+                                                 policy)
+        finish = controller.service(0, 5, 0)   # sampled + RMAQ insert
+        finish = controller.service(0, 6, finish)  # DRFM + sample 6
+        controller.service(0, 5, finish)  # row 5 hits RMAQ: skipped
+        assert policy.stats.samples_skipped_rate_limit == 1
+        assert subchannel.banks[0].dar.row == 6
+
+    def test_factory_and_summary(self, context):
+        policy = dream_r_para_factory(2000)(context)
+        assert policy.name == "para-dream-r"
+        summary = policy.summary()
+        assert "atm_triggers" in summary
+
+
+class TestDreamRMint:
+    def test_implicit_sampling_on_free_dar(self, timing, organization,
+                                           context):
+        policy = DreamRMintPolicy(context, t_rh=2000, window=4)
+        policy.states[0].san = 0  # force selection on first activation
+        controller, subchannel = make_controller(timing, organization,
+                                                 policy)
+        controller.service(0, 5, 0)
+        assert subchannel.banks[0].dar.row == 5
+        assert subchannel.stats.mitigation_commands == 0
+
+    def test_busy_dar_buffers_in_mc_sar(self, timing, organization,
+                                        context):
+        policy = DreamRMintPolicy(context, t_rh=2000, window=4)
+        controller, subchannel = make_controller(timing, organization,
+                                                 policy)
+        policy.states[0].san = 0
+        finish = controller.service(0, 5, 0)  # implicit sample
+        # Second window: selection with DAR busy -> MC-SAR.
+        policy.states[0].can = 4  # force roll-over on next ACT
+        policy.states[0].san = 99  # avoid accidental selection later
+        finish = controller.service(0, 6, finish)
+        policy.states[0].san = policy.states[0].can  # select right now
+        controller.service(0, 7, finish)
+        assert policy.states[0].mc_sar == 7
+        assert subchannel.banks[0].dar.row == 5
+
+    def test_window_end_with_mc_sar_drains_group(self, timing,
+                                                 organization, context):
+        policy = DreamRMintPolicy(context, t_rh=2000, window=3)
+        controller, subchannel = make_controller(timing, organization,
+                                                 policy)
+        # Manually stage: DAR busy + MC-SAR pending, then expire window.
+        controller.explicit_sample(0, 50, 0)
+        policy.states[0].mc_sar = 60
+        policy.states[0].can = 3  # expired
+        controller.service(0, 70, 10 ** 6)
+        event = subchannel.mitigation_log[0]
+        assert event.command is Command.DRFM_SB
+        assert (0, 50) in event.mitigated_rows
+        # MC-SAR explicit-sampled into the freed DAR.  (The new window's
+        # SAN may select the current ACT, re-filling MC-SAR with row 70;
+        # what matters is that the old pending row drained.)
+        assert subchannel.banks[0].dar.row == 60
+        assert policy.states[0].mc_sar in (None, 70)
+
+    def test_window_end_without_mc_sar_is_quiet(self, timing,
+                                                organization, context):
+        policy = DreamRMintPolicy(context, t_rh=2000, window=3)
+        controller, subchannel = make_controller(timing, organization,
+                                                 policy)
+        controller.explicit_sample(0, 50, 0)
+        policy.states[0].can = 3  # expired, but MC-SAR empty
+        policy.states[0].san = 99
+        controller.service(0, 70, 10 ** 6)
+        assert subchannel.stats.mitigation_commands == 0
+        assert subchannel.banks[0].dar.row == 50  # still waiting
+
+    def test_group_mc_sars_all_drain(self, timing, organization, context):
+        policy = DreamRMintPolicy(context, t_rh=2000, window=3)
+        controller, subchannel = make_controller(timing, organization,
+                                                 policy)
+        policy.states[0].mc_sar = 11
+        policy.states[4].mc_sar = 22   # same DRFMsb position
+        policy.states[1].mc_sar = 33   # different position
+        policy.states[0].can = 3
+        policy.states[0].san = 99
+        controller.service(0, 70, 0)
+        assert subchannel.banks[0].dar.row == 11
+        assert subchannel.banks[4].dar.row == 22
+        assert policy.states[1].mc_sar == 33  # untouched
+
+    def test_uses_atm_adjusted_window(self, context):
+        policy = DreamRMintPolicy(context, t_rh=2000)
+        assert policy.window == 99  # Table 4 with ATM
+
+    def test_atm_triggers_drain_for_hot_dar_row(self, timing,
+                                                organization, context):
+        policy = DreamRMintPolicy(context, t_rh=2000, window=50,
+                                  atm_threshold=3)
+        controller, subchannel = make_controller(timing, organization,
+                                                 policy)
+        # Stage a DAR row under ATM watch, then hammer it.
+        controller.explicit_sample(0, 40, 0)
+        policy.atm.arm(0, 40)
+        finish = 10 ** 6
+        for _ in range(5):
+            finish = controller.service(0, 41, finish)  # conflict filler
+            finish = controller.service(0, 40, finish)
+        assert policy.atm.triggers >= 1
+        assert any((0, 40) in event.mitigated_rows
+                   for event in subchannel.mitigation_log)
+
+    def test_rate_limited_window_capacity(self, context):
+        policy = DreamRMintPolicy(context, t_rh=500, rate_limited=True)
+        assert policy.rmaq is not None
+        assert policy.rmaq[0].capacity >= 6
+
+    def test_factory_and_summary(self, context):
+        policy = dream_r_mint_factory(2000)(context)
+        assert policy.name == "mint-dream-r"
+        assert "rmaq_skips" in policy.summary()

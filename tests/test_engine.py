@@ -1,0 +1,72 @@
+"""Unit tests for the discrete-event queue."""
+
+import pytest
+
+from repro.sim.engine import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(30, "c")
+        queue.push(10, "a")
+        queue.push(20, "b")
+        assert [queue.pop() for _ in range(3)] == [
+            (10, "a"), (20, "b"), (30, "c")]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        queue.push(10, "first")
+        queue.push(10, "second")
+        queue.push(10, "third")
+        assert [payload for _, payload in queue.drain()] == [
+            "first", "second", "third"]
+
+    def test_now_tracks_pops(self):
+        queue = EventQueue()
+        queue.push(100, None)
+        queue.pop()
+        assert queue.now_ps == 100
+
+
+class TestSafety:
+    def test_rejects_scheduling_in_past(self):
+        queue = EventQueue()
+        queue.push(100, None)
+        queue.pop()
+        with pytest.raises(ValueError, match="cannot schedule"):
+            queue.push(50, None)
+
+    def test_allows_scheduling_at_now(self):
+        queue = EventQueue()
+        queue.push(100, "a")
+        queue.pop()
+        queue.push(100, "b")
+        assert queue.pop() == (100, "b")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+
+class TestIntrospection:
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        assert len(queue) == 0
+        queue.push(1, None)
+        assert queue
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(42, None)
+        assert queue.peek_time() == 42
+
+    def test_drain_consumes_everything(self):
+        queue = EventQueue()
+        for t in (3, 1, 2):
+            queue.push(t, t)
+        assert [t for t, _ in queue.drain()] == [1, 2, 3]
+        assert not queue

@@ -1,0 +1,123 @@
+"""Cheap structural tests for the experiment design lists.
+
+Each experiment module exposes a ``designs()`` helper; these tests pin
+down the configurations without running any simulation, so a renamed
+design or a dropped threshold breaks loudly and fast.
+"""
+
+import pytest
+
+from repro.dram.commands import Command
+from repro.dram.timing import ns
+from repro.experiments import (fig5, fig9, fig10, fig15, fig17, fig19,
+                               fig22, fig23, table5)
+
+
+class TestFig5:
+    def test_six_designs(self):
+        specs = fig5.designs()
+        assert len(specs) == 6
+        names = {spec.name for spec in specs}
+        assert names == {"para-nrr", "para-drfmsb", "para-drfmab",
+                         "mint-nrr", "mint-drfmsb", "mint-drfmab"}
+
+    def test_threshold(self):
+        assert fig5.T_RH == 2000
+
+    def test_factories_build(self, context):
+        for spec in fig5.designs():
+            policy = spec.factory(context)
+            assert policy.name  # constructs cleanly
+
+
+class TestFig9:
+    def test_replaces_drfmab_with_dream_r(self):
+        names = {spec.name for spec in fig9.designs()}
+        assert "para-dream-r" in names
+        assert "mint-dream-r" in names
+        assert "para-drfmab" not in names
+
+    def test_paper_averages_recorded(self):
+        assert fig9.PAPER_AVERAGES["mint-dream-r"] == 2.1
+
+
+class TestFig10:
+    def test_two_trackers_per_threshold(self):
+        specs = fig10.designs()
+        assert len(specs) == 2 * len(fig10.THRESHOLDS)
+
+    def test_thresholds(self):
+        assert fig10.THRESHOLDS == (500, 1000, 2000, 4000)
+
+
+class TestFig15:
+    def test_one_assoc_three_rand(self):
+        names = [spec.name for spec in fig15.designs()]
+        assert names.count("dream-c-assoc-500") == 1
+        assert sum(1 for name in names if "rand" in name) == 3
+
+
+class TestFig17:
+    def test_designs_and_storage(self):
+        names = {spec.name for spec in fig17.designs()}
+        assert names == {"abacus", "dream-c", "dream-c-2x"}
+        storage = {row["design"]: row["kb_per_bank"]
+                   for row in fig17.storage_rows()}
+        assert storage["dream-c-2x"] == pytest.approx(
+            2 * storage["dream-c"])
+        assert storage["abacus"] / storage["dream-c"] == pytest.approx(
+            6.33, rel=0.05)
+
+
+class TestFig19:
+    def test_prac_designs_get_prac_system(self):
+        specs = fig19.designs((500, 1000), refs_per_window=32)
+        prac = [spec for spec in specs if "prac" in spec.name]
+        other = [spec for spec in specs if "prac" not in spec.name]
+        assert all(spec.system is not None
+                   and spec.system.timing.t_rp == ns(36)
+                   for spec in prac)
+        assert all(spec.system is None for spec in other)
+
+    def test_three_designs_per_threshold(self):
+        specs = fig19.designs((500, 1000, 2000, 4000), 32)
+        assert len(specs) == 12
+
+
+class TestFig22:
+    def test_sixteen_cores(self):
+        assert fig22.CORES == 16
+
+    def test_pairs_per_threshold(self):
+        specs = fig22.designs()
+        assert len(specs) == 2 * len(fig22.THRESHOLDS)
+        assert any("2x" in spec.name for spec in specs)
+
+
+class TestFig23:
+    def test_three_designs(self):
+        specs = fig23.designs(refs_per_window=32)
+        assert {spec.name for spec in specs} == \
+            {"prac-moat", "mint-dream-r", "dream-c"}
+
+    def test_threshold(self):
+        assert fig23.T_RH == 500
+
+
+class TestTable5:
+    def test_four_configurations(self):
+        names = {spec.name for spec in table5.designs()}
+        assert names == {"para-drfmsb", "mint-drfmsb", "para-dream-r",
+                         "mint-dream-r"}
+
+    def test_paper_rlp_reference(self):
+        assert table5.PAPER_RLP["mint-dream-r"] == 7.55
+
+
+class TestCommandsUsed:
+    def test_fig5_uses_all_three_interfaces(self, context):
+        commands = set()
+        for spec in fig5.designs():
+            policy = spec.factory(context)
+            commands.add(policy.command)
+        assert commands == {Command.NRR, Command.DRFM_SB, Command.DRFM_AB}

@@ -1,0 +1,68 @@
+"""Tests validating the Appendix A failure models empirically."""
+
+import pytest
+
+from repro.analysis.failure_rate import (compare_tail,
+                                         coupled_tail_comparison,
+                                         delay_inflation,
+                                         dream_r_tail_comparison,
+                                         mint_exposure_bound,
+                                         sample_coupled_epochs,
+                                         sample_dream_r_epochs)
+
+import numpy as np
+
+
+class TestEpochSampling:
+    def test_coupled_mean(self):
+        rng = np.random.default_rng(1)
+        epochs = sample_coupled_epochs(1 / 100, 100_000, rng)
+        assert np.mean(epochs) == pytest.approx(100, rel=0.05)
+
+    def test_dream_r_mean_doubles(self):
+        rng = np.random.default_rng(1)
+        epochs = sample_dream_r_epochs(1 / 100, 100_000, rng)
+        assert np.mean(epochs) == pytest.approx(200, rel=0.05)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            sample_coupled_epochs(1.5, 10, np.random.default_rng(1))
+
+
+class TestTailModels:
+    def test_coupled_matches_exponential(self):
+        # At pT = 5 the tail is ~e^-5 ~ 0.0067: well sampled at 200K.
+        comparison = coupled_tail_comparison(1 / 100, 500)
+        assert comparison.ratio == pytest.approx(1.0, abs=0.15)
+
+    def test_dream_r_matches_gamma(self):
+        # Equation 1: (1 + pT) e^(-pT) at pT = 5 ~ 0.040.
+        comparison = dream_r_tail_comparison(1 / 100, 500)
+        assert comparison.ratio == pytest.approx(1.0, abs=0.15)
+
+    def test_delay_inflates_failures(self):
+        # At pT = 5 the model predicts (1 + pT) = 6x inflation.
+        inflation = delay_inflation(1 / 100, 500)
+        assert inflation == pytest.approx(6.0, rel=0.25)
+
+    def test_inflation_grows_with_threshold(self):
+        # (1 + pT) grows with T: the gap between the tails widens.
+        low = delay_inflation(1 / 50, 150, seed=7)
+        high = delay_inflation(1 / 50, 400, seed=7)
+        assert high > low
+
+    def test_compare_tail_fields(self):
+        epochs = np.array([10, 20, 30, 40])
+        comparison = compare_tail(epochs, 25, analytic=0.5)
+        assert comparison.empirical == 0.5
+        assert comparison.ratio == 1.0
+        assert comparison.samples == 4
+
+
+class TestMintExposure:
+    def test_bounded_by_two_windows(self):
+        assert mint_exposure_bound(100, 50_000) <= 2 * 100
+
+    def test_scales_with_window(self):
+        assert mint_exposure_bound(50, 50_000) <= \
+            mint_exposure_bound(200, 50_000)

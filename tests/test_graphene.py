@@ -1,0 +1,101 @@
+"""Unit tests for Graphene (Misra-Gries tracking)."""
+
+import pytest
+
+from repro.trackers.graphene import (MisraGriesTable, entries_for_threshold,
+                                     storage_kb_per_bank)
+
+
+class TestStorageModel:
+    def test_table1_entries(self):
+        assert entries_for_threshold(1000) == 1200
+        assert entries_for_threshold(500) == 2400
+        assert entries_for_threshold(250) == 4800
+
+    def test_table1_storage(self):
+        assert storage_kb_per_bank(1000) == pytest.approx(4.1, abs=0.1)
+        assert storage_kb_per_bank(500) == pytest.approx(7.9, abs=0.2)
+        assert storage_kb_per_bank(250) == pytest.approx(15.2, abs=0.3)
+
+    def test_table6_storage_at_125(self):
+        assert storage_kb_per_bank(125) == pytest.approx(29.3, abs=0.5)
+
+    def test_storage_doubles_as_threshold_halves(self):
+        assert storage_kb_per_bank(250) / storage_kb_per_bank(500) == \
+            pytest.approx(2.0, rel=0.1)
+
+
+class TestMisraGries:
+    def test_counts_hits(self):
+        table = MisraGriesTable(0, entries=4, threshold=100)
+        for _ in range(5):
+            table.observe(0, 7)
+        assert table.estimated_count(7) == 5
+
+    def test_demand_at_threshold(self):
+        table = MisraGriesTable(0, entries=4, threshold=3)
+        demands = []
+        for _ in range(7):
+            demands.extend(table.observe(0, 7))
+        # Crossings at counts 3 and 6.
+        assert len(demands) == 2
+        assert all(d.row == 7 for d in demands)
+
+    def test_wrong_bank_rejected(self):
+        table = MisraGriesTable(0, entries=4, threshold=3)
+        with pytest.raises(ValueError):
+            table.observe(1, 7)
+
+    def test_spill_absorbs_overflow(self):
+        table = MisraGriesTable(0, entries=2, threshold=100)
+        table.observe(0, 1)
+        table.observe(0, 2)
+        table.observe(0, 3)  # table full, min count (1) > spill (0)
+        assert table.spill == 1
+        assert 3 not in table.counts
+
+    def test_replacement_at_spill_level(self):
+        table = MisraGriesTable(0, entries=2, threshold=100)
+        table.observe(0, 1)
+        table.observe(0, 2)
+        table.observe(0, 3)  # spill -> 1
+        table.observe(0, 4)  # row 1 or 2 is at count 1 == spill: replaced
+        assert 4 in table.counts
+        assert table.counts[4] == 2  # spill + 1
+
+    def test_estimated_count_lower_bounded_by_spill(self):
+        table = MisraGriesTable(0, entries=1, threshold=100)
+        table.observe(0, 1)
+        table.observe(0, 2)
+        table.observe(0, 3)
+        assert table.estimated_count(99) == table.spill
+
+    def test_reset(self):
+        table = MisraGriesTable(0, entries=4, threshold=3)
+        for _ in range(5):
+            table.observe(0, 7)
+        table.reset()
+        assert table.counts == {}
+        assert table.spill == 0
+
+    def test_guarantee_no_heavy_hitter_escapes(self):
+        # Misra-Gries invariant: with K entries, a row activated more than
+        # threshold times must generate at least one demand, provided
+        # K >= total_activations / threshold.
+        total, threshold = 600, 50
+        table = MisraGriesTable(0, entries=total // threshold,
+                                threshold=threshold)
+        demands = []
+        # Hot row interleaved with noise rows.
+        for i in range(total // 2):
+            demands.extend(table.observe(0, 7))
+            demands.extend(table.observe(0, 1000 + i))
+        assert any(d.row == 7 for d in demands)
+
+    def test_storage_bits_positive(self):
+        table = MisraGriesTable(0, entries=10, threshold=50)
+        assert table.storage_bits() == 10 * (17 + 1 + 7)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            MisraGriesTable(0, entries=0, threshold=1)

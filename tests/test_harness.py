@@ -1,0 +1,68 @@
+"""Unit tests for the adversarial attack harness."""
+
+import pytest
+
+from repro.analysis.harness import AttackHarness
+from repro.mc.mitigation import coupled_para_factory
+from repro.mc.policy import no_mitigation_factory
+from repro.workloads.attacks import double_sided, single_sided
+
+
+class TestUnprotectedBaseline:
+    def test_counts_grow_unbounded(self):
+        harness = AttackHarness(no_mitigation_factory())
+        result = harness.run(single_sided(7, 200), bank=0)
+        assert result.max_unmitigated == 200
+        assert result.max_unmitigated_row == (0, 7)
+        assert result.mitigations == 0
+
+    def test_every_access_activates(self):
+        harness = AttackHarness(no_mitigation_factory())
+        harness.run(single_sided(7, 50), bank=0)
+        assert harness.subchannel.banks[0].stats.activations == 50
+
+    def test_double_sided_tracks_both(self):
+        harness = AttackHarness(no_mitigation_factory())
+        result = harness.run(double_sided(1, 2, 100), bank=0)
+        assert result.peak_for(0, 1) == 50
+        assert result.peak_for(0, 2) == 50
+
+
+class TestMitigationAccounting:
+    def test_mitigation_resets_streak(self):
+        # Deterministic PARA (p = 1): every activation is mitigated, so
+        # the streak can never exceed ~1.
+        factory = coupled_para_factory(2000)
+
+        def always(context):
+            policy = factory(context)
+            policy.probability = 1.0
+            return policy
+
+        harness = AttackHarness(always)
+        result = harness.run(single_sided(7, 100), bank=0)
+        assert result.max_unmitigated <= 2
+        assert result.mitigations >= 99
+
+    def test_state_persists_across_runs(self):
+        harness = AttackHarness(no_mitigation_factory())
+        harness.run(single_sided(7, 30), bank=0)
+        result = harness.run(single_sided(7, 30), bank=0)
+        assert result.max_unmitigated == 60
+
+    def test_time_advances(self):
+        harness = AttackHarness(no_mitigation_factory())
+        harness.run(single_sided(7, 10), bank=0)
+        assert harness.now_ps > 0
+        assert harness.last_finish_ps >= harness.now_ps or \
+            harness.pipeline_step_ps is None
+
+
+class TestPipelinedMode:
+    def test_pipelined_attacker_is_faster(self):
+        serial = AttackHarness(no_mitigation_factory())
+        serial.run([(b, 7) for b in range(8)] * 50)
+        piped = AttackHarness(no_mitigation_factory())
+        piped.pipeline_step_ps = piped.timing.t_bus
+        piped.run([(b, 7) for b in range(8)] * 50)
+        assert piped.last_finish_ps < serial.now_ps

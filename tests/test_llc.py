@@ -1,0 +1,69 @@
+"""Unit tests for the shared LLC substrate."""
+
+import pytest
+
+from repro.cpu.llc import SetAssociativeCache
+
+
+class TestShape:
+    def test_baseline_sets(self):
+        cache = SetAssociativeCache()
+        assert cache.capacity_bytes == 8 * 1024 * 1024
+        assert cache.num_sets == 8 * 1024 * 1024 // (16 * 64)
+
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=1000, ways=16)
+
+
+class TestHitMiss:
+    def test_first_access_misses(self):
+        cache = SetAssociativeCache(size_bytes=64 * 16 * 4, ways=4)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+
+    def test_stats(self):
+        cache = SetAssociativeCache(size_bytes=64 * 16 * 4, ways=4)
+        cache.access(0)
+        cache.access(0)
+        cache.access(1)
+        assert cache.stats.accesses == 3
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_contains_does_not_touch_lru(self):
+        cache = SetAssociativeCache(size_bytes=64 * 2 * 1, ways=2)
+        sets = cache.num_sets
+        cache.access(0)
+        cache.access(sets)       # same set, second way
+        assert cache.contains(0)
+        cache.access(2 * sets)   # evicts LRU = line 0
+        assert not cache.contains(0)
+
+
+class TestLRUEviction:
+    def test_evicts_least_recent(self):
+        cache = SetAssociativeCache(size_bytes=64 * 2, ways=2)
+        assert cache.num_sets == 1
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)          # refresh 0; 1 is now LRU
+        cache.access(2)          # evict 1
+        assert cache.contains(0)
+        assert not cache.contains(1)
+        assert cache.stats.evictions == 1
+
+
+class TestFiltering:
+    def test_filter_misses(self):
+        cache = SetAssociativeCache(size_bytes=64 * 16, ways=16)
+        trace = [0, 1, 0, 2, 1, 3]
+        assert cache.filter_misses(trace) == [0, 1, 2, 3]
+
+    def test_mpki(self):
+        cache = SetAssociativeCache(size_bytes=64 * 16, ways=16)
+        cache.filter_misses([0, 1, 0, 1])
+        assert cache.stats.mpki(1000) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            cache.stats.mpki(0)

@@ -1,0 +1,50 @@
+"""Unit tests for the performance metrics."""
+
+import pytest
+
+from repro.cpu.metrics import (geometric_mean, normalized_performance,
+                               slowdown_percent, weighted_speedup)
+
+
+class TestWeightedSpeedup:
+    def test_identical_runs_score_core_count(self):
+        assert weighted_speedup([100, 100], [100, 100]) == pytest.approx(2.0)
+
+    def test_half_speed(self):
+        assert weighted_speedup([100], [200]) == pytest.approx(0.5)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+
+
+class TestSlowdown:
+    def test_no_slowdown_is_zero(self):
+        assert slowdown_percent([10, 20], [10, 20]) == pytest.approx(0.0)
+
+    def test_uniform_doubling_is_fifty_percent(self):
+        assert slowdown_percent([10, 20], [20, 40]) == pytest.approx(50.0)
+
+    def test_speedup_is_negative(self):
+        assert slowdown_percent([100], [80]) < 0
+
+    def test_normalized_performance(self):
+        assert normalized_performance([10, 10], [20, 20]) == \
+            pytest.approx(0.5)
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

@@ -1,0 +1,99 @@
+"""Unit tests for the MINT tracker components."""
+
+import numpy as np
+import pytest
+
+from repro.trackers.mint import (MintWindow, threshold_for_window,
+                                 window_for_threshold)
+
+
+class TestParameterDerivation:
+    def test_paper_operating_point(self):
+        # T_RH = 2000 -> W = 100 (Appendix B: T_RH = 20 * W).
+        assert window_for_threshold(2000) == 100
+
+    def test_inverse(self):
+        assert threshold_for_window(100) == 2000
+
+    def test_rejects_tiny_threshold(self):
+        with pytest.raises(ValueError):
+            window_for_threshold(10)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            threshold_for_window(0)
+
+
+class TestWindowMachine:
+    def test_selects_exactly_one_per_window(self):
+        window = MintWindow(10, np.random.default_rng(1))
+        selections = sum(window.observe(row) for row in range(10))
+        assert selections == 1
+        assert window.expired
+
+    def test_selected_row_captured(self):
+        window = MintWindow(10, np.random.default_rng(1))
+        for row in range(10):
+            if window.observe(row + 100):
+                expected = row + 100
+        assert window.roll_over() == expected
+
+    def test_observe_past_expiry_raises(self):
+        window = MintWindow(2, np.random.default_rng(1))
+        window.observe(1)
+        window.observe(2)
+        with pytest.raises(RuntimeError, match="expired"):
+            window.observe(3)
+
+    def test_roll_over_before_expiry_raises(self):
+        window = MintWindow(5, np.random.default_rng(1))
+        with pytest.raises(RuntimeError, match="not expired"):
+            window.roll_over()
+
+    def test_roll_over_resets(self):
+        window = MintWindow(3, np.random.default_rng(1))
+        for row in range(3):
+            window.observe(row)
+        window.roll_over()
+        assert window.can == 0
+        assert not window.expired
+        assert window.selected_row is None
+        assert window.windows_completed == 1
+
+    def test_san_uniform_over_window(self):
+        rng = np.random.default_rng(2)
+        window = MintWindow(10, rng)
+        sans = []
+        for _ in range(2000):
+            sans.append(window.san)
+            for row in range(10):
+                window.observe(row)
+            window.roll_over()
+        counts = np.bincount(sans, minlength=10)
+        assert counts.min() > 100  # roughly uniform
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            MintWindow(0, np.random.default_rng(1))
+
+
+class TestInterSelectionDistances:
+    def test_triangular_shape(self):
+        window = MintWindow(100, np.random.default_rng(3))
+        distances = window.inter_selection_distances(500_000)
+        assert np.mean(distances) == pytest.approx(100, rel=0.05)
+        # Triangular on (0, 2W): std = W / sqrt(6) ~ 0.408 W.
+        assert np.std(distances) == pytest.approx(100 / np.sqrt(6),
+                                                  rel=0.1)
+
+    def test_bounded_by_two_windows(self):
+        window = MintWindow(100, np.random.default_rng(3))
+        distances = window.inter_selection_distances(100_000)
+        assert distances.min() > -100  # sanity
+        assert distances.max() < 200
+
+    def test_fewer_short_gaps_than_para(self):
+        window = MintWindow(100, np.random.default_rng(3))
+        distances = window.inter_selection_distances(500_000)
+        short = np.mean(distances < 50)
+        assert short < 0.15  # triangular CDF at W/2 is 1/8

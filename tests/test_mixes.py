@@ -1,0 +1,52 @@
+"""Unit tests for the multi-program mixes (Appendix D)."""
+
+import pytest
+
+from repro.sim.config import SimConfig, SystemConfig
+from repro.workloads.mixes import (NUM_MIXES, build_mix_traces,
+                                   mix_composition, mix_name, spec_profiles)
+from repro.workloads.profiles import Suite
+
+
+class TestComposition:
+    def test_spec_pool(self):
+        pool = spec_profiles()
+        assert len(pool) == 12
+        assert all(p.suite is Suite.SPEC for p in pool)
+
+    def test_eight_workloads_per_mix(self):
+        assert len(mix_composition(0)) == 8
+
+    def test_deterministic(self):
+        first = [p.name for p in mix_composition(3)]
+        second = [p.name for p in mix_composition(3)]
+        assert first == second
+
+    def test_mixes_differ(self):
+        names = {tuple(p.name for p in mix_composition(i))
+                 for i in range(NUM_MIXES)}
+        assert len(names) > 1
+
+    def test_only_spec_workloads(self):
+        for i in range(NUM_MIXES):
+            assert all(p.suite is Suite.SPEC for p in mix_composition(i))
+
+    def test_index_bounds(self):
+        with pytest.raises(ValueError):
+            mix_composition(NUM_MIXES)
+        with pytest.raises(ValueError):
+            mix_composition(-1)
+
+    def test_mix_name(self):
+        assert mix_name(0) == "mix1"
+        assert mix_name(9) == "mix10"
+
+
+class TestTraceBuilding:
+    def test_builds_per_core_traces(self):
+        system = SystemConfig.baseline(refs_per_window=64, num_cores=2)
+        sim = SimConfig(requests_per_core=300, seed=1)
+        traces = build_mix_traces(0, system, sim)
+        assert len(traces) == 2
+        assert all(trace.name == "mix1" for trace in traces)
+        assert all(len(trace) == 300 for trace in traces)

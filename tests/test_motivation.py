@@ -1,0 +1,57 @@
+"""Tests for the motivation experiment module."""
+
+import pytest
+
+from repro.experiments import motivation
+
+
+class TestDecoyPattern:
+    def test_shape(self):
+        pattern = motivation._decoy_pattern(rounds=3)
+        # Per round: 4 decoys x 3 + 2 targets x 2 = 16 accesses.
+        assert len(pattern) == 3 * 16
+        assert pattern[:3] == [100, 100, 100]
+        assert pattern[12:14] == [10, 10]
+
+    def test_decoys_dominate(self):
+        pattern = motivation._decoy_pattern(rounds=10)
+        decoy_share = sum(1 for row in pattern if row >= 100) / len(pattern)
+        assert decoy_share == pytest.approx(0.75)
+
+
+class TestTrrBypassExperiment:
+    def test_runs_and_shows_the_story(self):
+        result = motivation.run_trr_bypass(quick=True)
+        by_key = {(r["pattern"], r["defense"]): r for r in result.rows}
+        assert len(result.rows) == 9  # 3 patterns x 3 defenses
+        # Undefended double-sided flips; TRR stops it.
+        assert by_key[("double-sided", "none")]["bit_flips"] > 0
+        assert by_key[("double-sided", "trr")]["bit_flips"] == 0
+        # The decoy pattern bypasses TRR; DREAM-R holds.
+        assert by_key[("decoy-shadow", "trr")]["bit_flips"] > 0
+        assert by_key[("decoy-shadow", "mint-dream-r")]["bit_flips"] == 0
+
+    def test_outcome_fields(self):
+        result = motivation.run_trr_bypass(quick=True)
+        for row in result.rows:
+            assert {"pattern", "defense", "peak_streak", "mitigations",
+                    "bit_flips"} <= set(row)
+
+
+class TestPracExtrinsicExperiment:
+    def test_runs_with_expected_rows(self):
+        result = motivation.run_prac_extrinsic(quick=True)
+        defenses = [row["defense"] for row in result.rows]
+        assert defenses == ["none", "prac-moat", "mint-dream-r"]
+
+    def test_attack_forces_mitigations(self):
+        result = motivation.run_prac_extrinsic(quick=True)
+        rows = {row["defense"]: row for row in result.rows}
+        assert rows["prac-moat"]["mitigations"] > 0
+        assert rows["mint-dream-r"]["mitigations"] > 0
+        assert rows["none"]["slowdown_factor"] == pytest.approx(1.0)
+
+    def test_factors_bounded(self):
+        result = motivation.run_prac_extrinsic(quick=True)
+        for row in result.rows:
+            assert row["slowdown_factor"] < 3.0

@@ -1,0 +1,80 @@
+"""Unit tests for the PARA tracker components."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.trackers.para import (MTTF_EXPONENT, ParaSampler,
+                                 epoch_failure_probability,
+                                 probability_for_threshold,
+                                 threshold_for_probability)
+
+
+class TestParameterDerivation:
+    def test_paper_operating_point(self):
+        # T_RH = 2000 -> p = 1/100 (Appendix A).
+        assert probability_for_threshold(2000) == pytest.approx(1 / 100)
+
+    def test_scaling(self):
+        assert probability_for_threshold(1000) == pytest.approx(1 / 50)
+        assert probability_for_threshold(4000) == pytest.approx(1 / 200)
+
+    def test_inverse(self):
+        p = probability_for_threshold(2000)
+        assert threshold_for_probability(p) == pytest.approx(2000)
+
+    def test_rejects_tiny_threshold(self):
+        with pytest.raises(ValueError):
+            probability_for_threshold(10)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            threshold_for_probability(0.0)
+
+    def test_failure_probability_at_design_point(self):
+        p = probability_for_threshold(2000)
+        assert epoch_failure_probability(2000, p) == pytest.approx(
+            math.exp(-MTTF_EXPONENT))
+
+
+class TestSampler:
+    def test_selection_rate(self):
+        sampler = ParaSampler(0.1, np.random.default_rng(1))
+        selections = sum(sampler.select() for _ in range(20_000))
+        assert selections == pytest.approx(2000, rel=0.1)
+        assert sampler.trials == 20_000
+        assert sampler.selections == selections
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            ParaSampler(0.0, np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            ParaSampler(1.5, np.random.default_rng(1))
+
+    def test_deterministic_for_seed(self):
+        a = ParaSampler(0.05, np.random.default_rng(9))
+        b = ParaSampler(0.05, np.random.default_rng(9))
+        assert [a.select() for _ in range(100)] == \
+            [b.select() for _ in range(100)]
+
+
+class TestInterSelectionDistances:
+    def test_exponential_shape(self):
+        # For IID selection, std ~ mean (geometric distribution).
+        sampler = ParaSampler(1 / 100, np.random.default_rng(2))
+        distances = sampler.inter_selection_distances(500_000)
+        assert np.mean(distances) == pytest.approx(100, rel=0.1)
+        assert np.std(distances) == pytest.approx(np.mean(distances),
+                                                  rel=0.15)
+
+    def test_many_short_gaps(self):
+        # ~39% of exponential gaps fall below half the mean.
+        sampler = ParaSampler(1 / 100, np.random.default_rng(2))
+        distances = sampler.inter_selection_distances(500_000)
+        short = np.mean(distances < 50)
+        assert 0.3 < short < 0.5
+
+    def test_too_few_selections(self):
+        sampler = ParaSampler(1 / 100, np.random.default_rng(2))
+        assert len(sampler.inter_selection_distances(10)) == 0

@@ -1,0 +1,63 @@
+"""Unit tests for the PRAC/MOAT counters and timing model."""
+
+import pytest
+
+from repro.dram.timing import DDR5Timing, ns
+from repro.trackers.prac import PracCounters
+
+
+class TestCounters:
+    def test_counts_per_row(self):
+        counters = PracCounters(num_banks=2, alert_threshold=10)
+        for _ in range(5):
+            assert counters.record(0, 7) is False
+        assert counters.max_count() == 5
+
+    def test_alert_at_threshold(self):
+        counters = PracCounters(num_banks=2, alert_threshold=3)
+        counters.record(0, 7)
+        counters.record(0, 7)
+        assert counters.record(0, 7) is True
+        assert counters.alerts == 1
+
+    def test_counter_resets_after_alert(self):
+        counters = PracCounters(num_banks=2, alert_threshold=3)
+        for _ in range(3):
+            counters.record(0, 7)
+        assert counters.counts[0][7] == 0
+
+    def test_banks_independent(self):
+        counters = PracCounters(num_banks=2, alert_threshold=3)
+        counters.record(0, 7)
+        counters.record(1, 7)
+        assert counters.counts[0][7] == 1
+        assert counters.counts[1][7] == 1
+
+    def test_window_reset(self):
+        counters = PracCounters(num_banks=2, alert_threshold=10)
+        counters.record(0, 7)
+        counters.reset()
+        assert counters.max_count() == 0
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            PracCounters(num_banks=1, alert_threshold=0)
+
+    def test_never_exceeds_threshold(self):
+        # MOAT's guarantee: no row crosses ATH without an alert.
+        counters = PracCounters(num_banks=1, alert_threshold=50)
+        for i in range(10_000):
+            counters.record(0, i % 7)
+            assert counters.max_count() < 50
+
+
+class TestIntrinsicTimingModel:
+    def test_trp_extension_is_the_intrinsic_tax(self):
+        # PRAC stretches precharge from 14 to 36 ns: every row-buffer
+        # miss to a conflicting row pays 22 ns more.
+        prac = DDR5Timing.prac()
+        jedec = DDR5Timing.jedec()
+        assert prac.t_rp - jedec.t_rp == ns(22)
+
+    def test_row_cycle_grows(self):
+        assert DDR5Timing.prac().t_rc > DDR5Timing.jedec().t_rc

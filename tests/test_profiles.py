@@ -1,0 +1,88 @@
+"""Unit tests for the workload profiles (Table 3 encoding)."""
+
+import pytest
+
+from repro.workloads.profiles import (PROFILES, QUICK_SUBSET, AccessStyle,
+                                      Suite, average_profile_value, profile,
+                                      profiles_for)
+
+
+class TestCatalog:
+    def test_twenty_two_workloads(self):
+        assert len(PROFILES) == 22
+
+    def test_suite_counts_match_paper(self):
+        suites = [p.suite for p in PROFILES]
+        assert suites.count(Suite.SPEC) == 12
+        assert suites.count(Suite.GAP) == 6
+        assert suites.count(Suite.STREAM) == 4
+
+    def test_unique_names(self):
+        names = [p.name for p in PROFILES]
+        assert len(set(names)) == len(names)
+
+    def test_lookup(self):
+        assert profile("mcf").suite is Suite.SPEC
+        with pytest.raises(KeyError, match="unknown workload"):
+            profile("nope")
+
+
+class TestPaperValues:
+    def test_average_acts_per_row(self):
+        # Paper's Table 3 average row: 0.73 ACTs per row per tREFW.
+        average = average_profile_value(lambda p: p.avg_acts_per_row)
+        assert average == pytest.approx(0.73, abs=0.02)
+
+    def test_average_bw_util(self):
+        average = average_profile_value(lambda p: p.bw_util_pct)
+        assert average == pytest.approx(66.0, abs=1.0)
+
+    def test_average_act0(self):
+        average = average_profile_value(lambda p: p.pct_rows_act0)
+        assert average == pytest.approx(80.24, abs=0.5)
+
+    def test_histogram_sums_to_100(self):
+        for p in PROFILES:
+            total = p.pct_rows_act0 + p.pct_rows_act1_4 + p.pct_rows_act5
+            assert total == pytest.approx(100.0, abs=0.5), p.name
+
+    def test_stream_profiles_are_streaming(self):
+        for name in ("add", "copy", "scale", "triad"):
+            assert profile(name).style is AccessStyle.STREAMING
+
+    def test_gap_profiles_are_irregular(self):
+        for name in ("bc", "bfs", "cc", "pr", "sssp", "tc"):
+            assert profile(name).style is AccessStyle.IRREGULAR
+
+
+class TestDerivedKnobs:
+    def test_footprint_fraction(self):
+        p = profile("add")
+        assert p.footprint_fraction == pytest.approx(
+            (100 - p.pct_rows_act0) / 100)
+
+    def test_hot_fraction(self):
+        p = profile("mcf")
+        assert p.hot_fraction_of_rows == pytest.approx(
+            p.pct_rows_act5 / 100)
+
+    def test_bw_util_fraction(self):
+        assert profile("tc").bw_util == pytest.approx(0.925)
+
+
+class TestSelection:
+    def test_quick_subset_is_valid(self):
+        selected = profiles_for(quick=True)
+        assert len(selected) == len(QUICK_SUBSET)
+        assert all(p.name in QUICK_SUBSET for p in selected)
+
+    def test_full_selection(self):
+        assert len(profiles_for(quick=False)) == 22
+
+    def test_explicit_names(self):
+        selected = profiles_for(names=["mcf", "add"])
+        assert [p.name for p in selected] == ["mcf", "add"]
+
+    def test_quick_subset_spans_suites(self):
+        suites = {profile(name).suite for name in QUICK_SUBSET}
+        assert suites == {Suite.SPEC, Suite.GAP, Suite.STREAM}

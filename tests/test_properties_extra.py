@@ -1,0 +1,114 @@
+"""Additional property-based tests: scheduler, traces, charts, storage."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.charts import bar_chart
+from repro.core.storage import dream_c_config
+from repro.dram.address import MOPMapper
+from repro.dram.device import Organization
+from repro.dram.subchannel import SubChannel
+from repro.dram.timing import DDR5Timing
+from repro.mc.controller import SubChannelController
+from repro.mc.scheduler import (QueuedRequest, QueuedScheduler,
+                                SchedulingPolicy)
+from repro.trackers.graphene import storage_kb_per_bank
+from repro.workloads.trace import MemoryTrace
+
+_TIMING = DDR5Timing.scaled(64)
+_ORG = Organization.scaled(64)
+
+
+def _scheduler(policy):
+    subchannel = SubChannel(0, _TIMING, _ORG.banks, _ORG.banks_per_group)
+    controller = SubChannelController(subchannel, _TIMING, None)
+    return QueuedScheduler(controller, policy)
+
+
+class TestSchedulerProperties:
+    @given(requests=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10 ** 6),
+                  st.integers(min_value=0, max_value=7),
+                  st.integers(min_value=0, max_value=63)),
+        min_size=1, max_size=60),
+        policy=st.sampled_from(list(SchedulingPolicy)))
+    @settings(max_examples=40, deadline=None)
+    def test_work_conservation(self, requests, policy):
+        # Every enqueued request is issued exactly once, with a finish
+        # time no earlier than its arrival.
+        scheduler = _scheduler(policy)
+        for arrival, bank, row in requests:
+            scheduler.enqueue(QueuedRequest(arrival_ps=arrival, bank=bank,
+                                            row=row))
+        finished = scheduler.run()
+        assert len(finished) == len(requests)
+        assert not scheduler.queue
+        for request in finished:
+            assert request.finish_ps >= request.arrival_ps
+            assert request.issued_ps >= request.arrival_ps
+
+    @given(requests=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10 ** 5),
+                  st.integers(min_value=0, max_value=3),
+                  st.integers(min_value=0, max_value=15)),
+        min_size=2, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_frfcfs_never_slower_on_average_latency_total(self, requests):
+        # FR-FCFS reorders only to hit open rows; aggregate service work
+        # can only shrink (fewer ACT/PRE), so total latency never
+        # explodes versus FCFS beyond the reorder-window effect.
+        totals = {}
+        for policy in SchedulingPolicy:
+            scheduler = _scheduler(policy)
+            for arrival, bank, row in requests:
+                scheduler.enqueue(QueuedRequest(arrival_ps=arrival,
+                                                bank=bank, row=row))
+            scheduler.run()
+            totals[policy] = scheduler.stats.total_latency_ps
+        assert totals[SchedulingPolicy.FR_FCFS] <= \
+            totals[SchedulingPolicy.FCFS] * 1.6 + 10 ** 6
+
+
+class TestTraceProperties:
+    @given(lines=st.lists(st.integers(min_value=0, max_value=10 ** 7),
+                          min_size=1, max_size=200),
+           gap=st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=40, deadline=None)
+    def test_from_lines_always_in_range(self, lines, gap):
+        mapper = MOPMapper(_ORG)
+        array = np.asarray(lines, dtype=np.int64) % mapper.total_lines
+        trace = MemoryTrace.from_lines(
+            "p", array, np.full(len(lines), gap, dtype=np.int64), mapper)
+        assert trace.subchannel.max() < _ORG.subchannels
+        assert trace.bank.max() < _ORG.banks
+        assert trace.row.max() < _ORG.rows_per_bank
+        assert (trace.gap_ps == gap).all()
+
+
+class TestChartProperties:
+    @given(values=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_bars_bounded_by_width(self, values):
+        items = [(f"v{i}", value) for i, value in enumerate(values)]
+        text = bar_chart(items, width=30)
+        for line in text.splitlines():
+            assert line.count("#") <= 30
+        assert len(text.splitlines()) == len(items)
+
+
+class TestStorageProperties:
+    @given(t_rh=st.sampled_from([125, 250, 500, 1000, 2000, 4000]))
+    def test_dream_c_storage_monotone_in_threshold(self, t_rh):
+        config = dream_c_config(t_rh)
+        if t_rh > 125:
+            smaller = dream_c_config(t_rh // 2)
+            assert config.sram_kb_per_bank() <= \
+                smaller.sram_kb_per_bank()
+        assert config.gang_size == 32 * config.drfms_per_mitigation
+
+    @given(t_rh=st.sampled_from([125, 250, 500, 1000, 2000]))
+    def test_graphene_storage_monotone(self, t_rh):
+        assert storage_kb_per_bank(t_rh) >= storage_kb_per_bank(2 * t_rh)

@@ -1,0 +1,60 @@
+"""Unit tests for the lazy REF scheduler."""
+
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.timing import ns
+
+
+class TestAdvance:
+    def test_no_ref_before_first_trefi(self, subchannel, timing):
+        scheduler = RefreshScheduler(timing, subchannel)
+        scheduler.advance(timing.t_refi - 1)
+        assert subchannel.stats.refreshes == 0
+
+    def test_one_ref_per_trefi(self, subchannel, timing):
+        scheduler = RefreshScheduler(timing, subchannel)
+        scheduler.advance(timing.t_refi * 5)
+        assert subchannel.stats.refreshes == 5
+        assert scheduler.ref_index == 5
+
+    def test_catches_up_in_one_call(self, subchannel, timing):
+        scheduler = RefreshScheduler(timing, subchannel)
+        scheduler.advance(timing.t_refi * 3 + ns(100))
+        scheduler.advance(timing.t_refi * 3 + ns(200))
+        assert subchannel.stats.refreshes == 3
+
+    def test_banks_blocked_for_trfc(self, subchannel, timing):
+        scheduler = RefreshScheduler(timing, subchannel)
+        scheduler.advance(timing.t_refi)
+        expected = timing.t_refi + timing.t_rfc
+        assert all(bank.busy_until_ps >= expected
+                   for bank in subchannel.banks)
+
+
+class TestCallbacks:
+    def test_called_per_ref_with_index_and_time(self, subchannel, timing):
+        scheduler = RefreshScheduler(timing, subchannel)
+        seen = []
+        scheduler.on_ref(lambda index, time: seen.append((index, time)))
+        scheduler.advance(timing.t_refi * 2)
+        assert seen == [(0, timing.t_refi), (1, 2 * timing.t_refi)]
+
+    def test_multiple_callbacks(self, subchannel, timing):
+        scheduler = RefreshScheduler(timing, subchannel)
+        counts = [0, 0]
+        scheduler.on_ref(lambda i, t: counts.__setitem__(0, counts[0] + 1))
+        scheduler.on_ref(lambda i, t: counts.__setitem__(1, counts[1] + 1))
+        scheduler.advance(timing.t_refi)
+        assert counts == [1, 1]
+
+
+class TestWindowBookkeeping:
+    def test_window_position_wraps(self, subchannel, timing):
+        scheduler = RefreshScheduler(timing, subchannel)
+        scheduler.advance(timing.t_refw + timing.t_refi * 3)
+        assert scheduler.windows_completed == 1
+        assert scheduler.window_position == 3
+
+    def test_rows_per_ref(self, subchannel, timing):
+        scheduler = RefreshScheduler(timing, subchannel)
+        assert scheduler.rows_per_ref(1024) == 1024 // 64
+        assert scheduler.rows_per_ref(1) == 1

@@ -1,0 +1,72 @@
+"""Unit tests for the result containers' derived properties."""
+
+import pytest
+
+from repro.sim.results import ComparisonResult, RunResult
+
+
+def make_result(**overrides):
+    base = dict(
+        workload="w",
+        policy="p",
+        finish_times_ps=[1000, 2000],
+        end_time_ps=2000,
+        requests_completed=100,
+        activations=40,
+        row_hits=60,
+        row_conflicts=10,
+        mitigation_commands=5,
+        rows_mitigated=12,
+        average_rlp=2.4,
+        bus_busy_ps=800,
+        subchannels=2,
+    )
+    base.update(overrides)
+    return RunResult(**base)
+
+
+class TestRunResultProperties:
+    def test_row_hit_rate(self):
+        assert make_result().row_hit_rate == pytest.approx(0.6)
+
+    def test_row_hit_rate_empty(self):
+        result = make_result(activations=0, row_hits=0)
+        assert result.row_hit_rate == 0.0
+
+    def test_bus_utilization(self):
+        # 800 ps busy over 2000 ps x 2 sub-channels.
+        assert make_result().bus_utilization == pytest.approx(0.2)
+
+    def test_bus_utilization_zero_time(self):
+        assert make_result(end_time_ps=0).bus_utilization == 0.0
+
+    def test_act_rate(self):
+        assert make_result().act_rate_per_ns == pytest.approx(
+            40 / (2000 / 1000))
+
+    def test_act_rate_zero_time(self):
+        assert make_result(end_time_ps=0).act_rate_per_ns == 0.0
+
+    def test_describe_mentions_key_fields(self):
+        text = make_result().describe()
+        assert "w/p" in text
+        assert "rlp=2.40" in text
+
+
+class TestComparisonProperties:
+    def test_slowdown_and_performance(self):
+        baseline = make_result(finish_times_ps=[1000, 1000])
+        slower = make_result(finish_times_ps=[2000, 2000])
+        comparison = ComparisonResult(baseline, slower)
+        assert comparison.slowdown_percent == pytest.approx(50.0)
+        assert comparison.normalized_performance == pytest.approx(0.5)
+
+    def test_average_rlp_is_mitigated_runs(self):
+        baseline = make_result(average_rlp=0.0)
+        mitigated = make_result(average_rlp=3.3)
+        assert ComparisonResult(baseline,
+                                mitigated).average_rlp == 3.3
+
+    def test_describe(self):
+        comparison = ComparisonResult(make_result(), make_result())
+        assert "slowdown=0.00%" in comparison.describe()

@@ -1,0 +1,85 @@
+"""Unit tests for the Recent-Mitigated-Address-Queue."""
+
+import pytest
+
+from repro.core.rmaq import (ENTRY_BITS, RecentMitigationQueue,
+                             capacity_for_window, storage_bits)
+from repro.dram.timing import ns
+
+TREFI = ns(3900)
+
+
+class TestCapacityModel:
+    def test_paper_capacities(self):
+        # 150 activations per 2*tREFI: W=25 -> 6, W=50 -> 3, W=100 -> 2.
+        assert capacity_for_window(25) == 6
+        assert capacity_for_window(50) == 3
+        assert capacity_for_window(100) == 2
+
+    def test_storage_cost(self):
+        # 5-15 bytes per bank (Section 6.1).
+        assert storage_bits(2) == 2 * ENTRY_BITS
+        assert 5 * 8 <= storage_bits(2) <= 15 * 8
+        assert 5 * 8 <= storage_bits(6) <= 15 * 8
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            capacity_for_window(0)
+
+
+class TestQueueBehaviour:
+    def test_contains_after_insert(self):
+        queue = RecentMitigationQueue(4, TREFI)
+        queue.insert(42, now_ps=0)
+        assert queue.contains(42, now_ps=100)
+        assert not queue.contains(43, now_ps=100)
+
+    def test_expiry_after_two_trefi(self):
+        queue = RecentMitigationQueue(4, TREFI)
+        queue.insert(42, now_ps=0)
+        # Within the horizon (epochs 0..2) the entry is live.
+        assert queue.contains(42, now_ps=2 * TREFI + 1)
+        # At epoch 3 the entry (epoch 0) has expired.
+        assert not queue.contains(42, now_ps=3 * TREFI + 1)
+
+    def test_fifo_eviction_when_full(self):
+        queue = RecentMitigationQueue(2, TREFI)
+        queue.insert(1, 0)
+        queue.insert(2, 0)
+        queue.insert(3, 0)
+        assert not queue.contains(1, 0)
+        assert queue.contains(2, 0)
+        assert queue.contains(3, 0)
+
+    def test_hit_counter(self):
+        queue = RecentMitigationQueue(2, TREFI)
+        queue.insert(1, 0)
+        queue.contains(1, 0)
+        queue.contains(1, 0)
+        queue.contains(9, 0)
+        assert queue.hits == 2
+
+    def test_len_tracks_live_entries(self):
+        queue = RecentMitigationQueue(4, TREFI)
+        queue.insert(1, 0)
+        queue.insert(2, 0)
+        assert len(queue) == 2
+
+    def test_storage_bits_method(self):
+        queue = RecentMitigationQueue(3, TREFI)
+        assert queue.storage_bits() == 3 * ENTRY_BITS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecentMitigationQueue(0, TREFI)
+        with pytest.raises(ValueError):
+            RecentMitigationQueue(1, 0)
+
+    def test_rate_limit_guarantee(self):
+        # Core security property: an address that was inserted cannot be
+        # re-sampled (contains() is True) at any point within two tREFI.
+        queue = RecentMitigationQueue(6, TREFI)
+        queue.insert(7, now_ps=TREFI // 2)
+        for check in range(0, 2 * TREFI, TREFI // 4):
+            now = TREFI // 2 + check
+            assert queue.contains(7, now)

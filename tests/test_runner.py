@@ -1,0 +1,82 @@
+"""Unit/integration tests for the simulation runner and results."""
+
+import pytest
+
+from repro.mc.policy import no_mitigation_factory
+from repro.sim.config import SimConfig
+from repro.sim.results import ComparisonResult
+from repro.sim.runner import run_comparison, run_simulation
+from repro.workloads.builder import build_traces
+
+
+@pytest.fixture
+def traces(small_system, small_sim):
+    return build_traces("mcf", small_system, small_sim, calibrate=False)
+
+
+class TestRunSimulation:
+    def test_completes_budget(self, small_system, small_sim, traces):
+        result = run_simulation(small_system, traces, small_sim)
+        expected = small_system.num_cores * small_sim.requests_per_core
+        assert result.requests_completed == expected
+        assert result.end_time_ps > 0
+        assert all(t > 0 for t in result.finish_times_ps)
+
+    def test_deterministic(self, small_system, small_sim, traces):
+        a = run_simulation(small_system, traces, small_sim)
+        b = run_simulation(small_system, traces, small_sim)
+        assert a.finish_times_ps == b.finish_times_ps
+        assert a.activations == b.activations
+
+    def test_counts_consistent(self, small_system, small_sim, traces):
+        result = run_simulation(small_system, traces, small_sim)
+        accesses = result.activations + result.row_hits
+        assert accesses == result.requests_completed
+        assert 0 < result.row_hit_rate < 1
+        assert 0 < result.bus_utilization < 1
+
+    def test_policy_label_recorded(self, small_system, small_sim, traces):
+        result = run_simulation(small_system, traces, small_sim,
+                                no_mitigation_factory(), "baseline-check")
+        assert result.policy == "baseline-check"
+        assert len(result.policy_summaries) == 2  # one per sub-channel
+
+    def test_trace_count_validated(self, small_system, small_sim, traces):
+        with pytest.raises(ValueError, match="expected"):
+            run_simulation(small_system, traces[:1], small_sim)
+
+
+class TestRunComparison:
+    def test_no_mitigation_is_near_zero_slowdown(self, small_system,
+                                                 small_sim, traces):
+        comparison = run_comparison(small_system, traces, small_sim,
+                                    no_mitigation_factory(), "none")
+        assert comparison.slowdown_percent == pytest.approx(0.0, abs=0.01)
+        assert comparison.normalized_performance == pytest.approx(
+            1.0, abs=0.001)
+
+    def test_reuses_provided_baseline(self, small_system, small_sim,
+                                      traces):
+        baseline = run_simulation(small_system, traces, small_sim)
+        comparison = run_comparison(small_system, traces, small_sim,
+                                    no_mitigation_factory(), "none",
+                                    baseline=baseline)
+        assert comparison.baseline is baseline
+
+
+class TestRunResultProperties:
+    def test_describe(self, small_system, small_sim, traces):
+        result = run_simulation(small_system, traces, small_sim)
+        text = result.describe()
+        assert "mcf" in text
+        assert "bw=" in text
+
+    def test_act_rate(self, small_system, small_sim, traces):
+        result = run_simulation(small_system, traces, small_sim)
+        expected = result.activations / (result.end_time_ps / 1000)
+        assert result.act_rate_per_ns == pytest.approx(expected)
+
+    def test_comparison_describe(self, small_system, small_sim, traces):
+        comparison = run_comparison(small_system, traces, small_sim,
+                                    no_mitigation_factory(), "none")
+        assert "slowdown=" in comparison.describe()

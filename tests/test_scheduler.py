@@ -1,0 +1,125 @@
+"""Unit tests for the queued FCFS / FR-FCFS scheduler substrate."""
+
+import pytest
+
+from repro.dram.subchannel import SubChannel
+from repro.mc.controller import SubChannelController
+from repro.mc.scheduler import (QueuedRequest, QueuedScheduler,
+                                SchedulingPolicy)
+
+
+def make_scheduler(timing, organization, policy, reorder_window=16):
+    subchannel = SubChannel(0, timing, organization.banks,
+                            organization.banks_per_group)
+    controller = SubChannelController(subchannel, timing, None)
+    return QueuedScheduler(controller, policy, reorder_window)
+
+
+def request(arrival, bank, row, tag=0):
+    return QueuedRequest(arrival_ps=arrival, bank=bank, row=row, tag=tag)
+
+
+class TestFCFS:
+    def test_issues_in_arrival_order(self, timing, organization):
+        scheduler = make_scheduler(timing, organization,
+                                   SchedulingPolicy.FCFS)
+        for i in range(5):
+            scheduler.enqueue(request(i * 10, bank=i % 2, row=i, tag=i))
+        finished = scheduler.run()
+        assert [r.tag for r in finished] == [0, 1, 2, 3, 4]
+        assert scheduler.stats.reorders == 0
+
+    def test_latency_accounting(self, timing, organization):
+        scheduler = make_scheduler(timing, organization,
+                                   SchedulingPolicy.FCFS)
+        scheduler.enqueue(request(0, 0, 5))
+        finished = scheduler.run()
+        assert finished[0].latency_ps >= timing.t_rcd + timing.t_cl
+        assert scheduler.stats.average_latency_ps == \
+            finished[0].latency_ps
+
+    def test_waits_for_future_arrivals(self, timing, organization):
+        scheduler = make_scheduler(timing, organization,
+                                   SchedulingPolicy.FCFS)
+        scheduler.enqueue(request(10 ** 6, 0, 5))
+        finished = scheduler.run()
+        assert finished[0].issued_ps >= 10 ** 6
+
+
+class TestFRFCFS:
+    def test_prefers_row_hits(self, timing, organization):
+        scheduler = make_scheduler(timing, organization,
+                                   SchedulingPolicy.FR_FCFS)
+        # Open row 5 in bank 0, then enqueue a conflict followed by a hit.
+        scheduler.controller.service(0, 5, 0)
+        scheduler.now_ps = 10 ** 6
+        scheduler.enqueue(request(0, 0, 6, tag="conflict"))
+        scheduler.enqueue(request(1, 0, 5, tag="hit"))
+        finished = scheduler.run()
+        assert [r.tag for r in finished] == ["hit", "conflict"]
+        assert scheduler.stats.reorders == 1
+
+    def test_falls_back_to_oldest(self, timing, organization):
+        scheduler = make_scheduler(timing, organization,
+                                   SchedulingPolicy.FR_FCFS)
+        scheduler.enqueue(request(0, 0, 6, tag="old"))
+        scheduler.enqueue(request(1, 0, 7, tag="new"))
+        finished = scheduler.run()
+        assert finished[0].tag == "old"
+
+    def test_reorder_window_caps_lookahead(self, timing, organization):
+        scheduler = make_scheduler(timing, organization,
+                                   SchedulingPolicy.FR_FCFS,
+                                   reorder_window=2)
+        scheduler.controller.service(0, 5, 0)
+        scheduler.now_ps = 10 ** 6
+        # The row hit sits outside the 2-entry window.
+        scheduler.enqueue(request(0, 0, 6, tag="a"))
+        scheduler.enqueue(request(1, 0, 7, tag="b"))
+        scheduler.enqueue(request(2, 0, 5, tag="hit"))
+        finished = scheduler.run()
+        assert finished[0].tag == "a"
+
+    def test_frfcfs_improves_hit_rate_on_locality(self, timing,
+                                                  organization):
+        # Interleaved streams to two rows of the same bank: FCFS
+        # ping-pongs (all conflicts); FR-FCFS batches the hits.
+        def load(scheduler):
+            for i in range(40):
+                scheduler.enqueue(request(i, 0, row=5 + (i % 2)))
+            scheduler.run()
+            bank = scheduler.controller.subchannel.banks[0]
+            return bank.stats.row_hits
+
+        fcfs_hits = load(make_scheduler(timing, organization,
+                                        SchedulingPolicy.FCFS))
+        fr_hits = load(make_scheduler(timing, organization,
+                                      SchedulingPolicy.FR_FCFS))
+        assert fr_hits > fcfs_hits
+
+    def test_frfcfs_lowers_average_latency(self, timing, organization):
+        def latency(policy):
+            scheduler = make_scheduler(timing, organization, policy)
+            for i in range(40):
+                scheduler.enqueue(request(i, 0, row=5 + (i % 2)))
+            scheduler.run()
+            return scheduler.stats.average_latency_ps
+
+        assert latency(SchedulingPolicy.FR_FCFS) < \
+            latency(SchedulingPolicy.FCFS)
+
+
+class TestValidation:
+    def test_rejects_bad_window(self, timing, organization):
+        with pytest.raises(ValueError):
+            make_scheduler(timing, organization, SchedulingPolicy.FCFS,
+                           reorder_window=0)
+
+    def test_latency_before_finish_raises(self):
+        with pytest.raises(RuntimeError):
+            _ = request(0, 0, 0).latency_ps
+
+    def test_step_on_empty_returns_none(self, timing, organization):
+        scheduler = make_scheduler(timing, organization,
+                                   SchedulingPolicy.FCFS)
+        assert scheduler.step() is None

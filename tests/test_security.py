@@ -1,0 +1,105 @@
+"""Unit tests for the analytic security models (Appendices A/B)."""
+
+import math
+
+import pytest
+
+from repro.core.security import (PAPER_TABLE7_PENALTY, dream_r_mint_threshold,
+                                 gamma_tail, mint_window_dream_r,
+                                 mint_window_with_atm,
+                                 para_delay_failure_factor,
+                                 para_exponent_dream_r,
+                                 para_probability_dream_r,
+                                 para_probability_with_atm,
+                                 revised_parameters, rmaq_threshold_penalty)
+
+
+class TestParaGammaAnalysis:
+    def test_gamma_tail_formula(self):
+        # Equation 1: P(z >= T) = (1 + pT) e^{-pT}.
+        p, t = 0.01, 2000
+        assert gamma_tail(p, t) == pytest.approx(
+            (1 + p * t) * math.exp(-p * t))
+
+    def test_failure_factor_at_design_point(self):
+        # (1 + pT) = 21 at pT = 20: the paper quotes ~20x.
+        assert para_delay_failure_factor(20.0) == pytest.approx(21.0)
+
+    def test_exponent_solves_target(self):
+        x = para_exponent_dream_r()
+        assert (1 + x) * math.exp(-x) == pytest.approx(math.exp(-20),
+                                                       rel=1e-9)
+
+    def test_revised_probability_near_paper(self):
+        # Paper: p = 1/85 at T_RH = 2000 (we solve exactly: ~1/86).
+        p = para_probability_dream_r(2000)
+        assert 1 / 90 < p < 1 / 80
+
+    def test_revision_is_an_increase(self):
+        assert para_probability_dream_r(2000) > 1 / 100
+
+    def test_with_atm_near_coupled(self):
+        # Paper Table 4: ATM keeps p at ~1/99.
+        p = para_probability_with_atm(2000)
+        assert 1 / 100 < p <= 1 / 99
+
+
+class TestMintDelayAnalysis:
+    def test_dream_r_window(self):
+        # Paper: W = 97 at T_RH = 2000 (20.5 activations per window).
+        assert mint_window_dream_r(2000) == 97
+
+    def test_with_atm(self):
+        # Paper Table 4: W = 99 with ATM.
+        assert mint_window_with_atm(2000) == 99
+
+    def test_design_threshold(self):
+        assert dream_r_mint_threshold(100) == 2000
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            mint_window_dream_r(10)
+
+
+class TestRmaqPenalty:
+    @pytest.mark.parametrize("window", sorted(PAPER_TABLE7_PENALTY))
+    def test_matches_paper_within_rounding(self, window):
+        ours = rmaq_threshold_penalty(window)
+        paper = PAPER_TABLE7_PENALTY[window]
+        assert abs(ours - paper) <= 2
+
+    def test_vanishes_for_large_windows(self):
+        assert rmaq_threshold_penalty(45) == 0
+        assert rmaq_threshold_penalty(100) == 0
+
+    def test_monotone_decreasing(self):
+        penalties = [rmaq_threshold_penalty(w) for w in range(25, 50, 5)]
+        assert penalties == sorted(penalties, reverse=True)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            rmaq_threshold_penalty(0)
+
+
+class TestRevisedParameters:
+    def test_table4_row(self):
+        params = revised_parameters(2000)
+        assert params.para_p_coupled == pytest.approx(1 / 100)
+        assert params.mint_w_coupled == 100
+        assert params.mint_w_dream_r == 97
+        assert params.mint_w_with_atm == 99
+
+    def test_describe_mentions_values(self):
+        text = revised_parameters(2000).describe()
+        assert "1/100" in text
+        assert "W=100" in text
+        assert "97" in text
+
+    def test_ordering_invariant(self):
+        # Coupled <= ATM <= no-ATM mitigation frequency; window reversed.
+        for t_rh in (1000, 2000, 4000):
+            params = revised_parameters(t_rh)
+            assert params.para_p_coupled <= params.para_p_with_atm <= \
+                params.para_p_dream_r
+            assert params.mint_w_dream_r <= params.mint_w_with_atm <= \
+                params.mint_w_coupled

@@ -1,0 +1,145 @@
+"""End-to-end security tests: adversarial patterns vs real policies.
+
+Each test hammers a fully wired mitigation policy (banks, DARs, REF,
+DRFM) through the attack harness and checks the defense's exposure bound:
+the maximum single-sided activation streak any row accumulates without
+mitigation.  Counter-based designs have deterministic bounds; randomized
+designs are checked against bounds their failure math puts at astronomically
+unlikely levels (fixed seeds keep the runs reproducible).
+"""
+
+import pytest
+
+from repro.analysis.harness import AttackHarness
+from repro.core.dream_c import DreamCPolicy, dream_c_factory
+from repro.core.dream_r import dream_r_mint_factory, dream_r_para_factory
+from repro.dram.commands import Command
+from repro.mc.mitigation import coupled_mint_factory, coupled_para_factory
+from repro.trackers.abacus import abacus_factory
+from repro.trackers.graphene import graphene_factory
+from repro.trackers.prac import moat_factory
+from repro.workloads.attacks import circular, single_sided
+
+
+class TestCoupledTrackers:
+    def test_para_bounds_single_row_hammer(self):
+        # PARA p = 1/100: a 1500-act unmitigated epoch has probability
+        # e^-15; with a fixed seed this never happens.
+        harness = AttackHarness(coupled_para_factory(2000), seed=11)
+        result = harness.run(single_sided(7, 12_000), bank=0)
+        assert result.max_unmitigated < 1500
+        assert result.mitigations > 50
+
+    def test_para_nrr_equivalent_protection(self):
+        harness = AttackHarness(
+            coupled_para_factory(2000, Command.NRR), seed=11)
+        result = harness.run(single_sided(7, 12_000), bank=0)
+        assert result.max_unmitigated < 1500
+
+    def test_mint_guarantees_selection_per_window(self):
+        # A continuously hammered row is selected in every window, so the
+        # streak is bounded by ~2 windows (selection position varies).
+        harness = AttackHarness(coupled_mint_factory(2000), seed=11)
+        result = harness.run(single_sided(7, 10_000), bank=0)
+        assert result.max_unmitigated < 3 * 100
+
+    def test_mint_circular_pattern(self):
+        # The most stressful MINT pattern: W unique rows round-robin.
+        harness = AttackHarness(coupled_mint_factory(2000), seed=11)
+        rows = circular(list(range(100)), 30_000)
+        result = harness.run(rows, bank=0)
+        # Each row gets 300 activations; mitigation spreads over rows but
+        # no row may approach the 40W single-sided bound.
+        assert result.max_unmitigated < 4000
+
+
+class TestDreamR:
+    def test_para_dream_r_with_atm(self):
+        harness = AttackHarness(dream_r_para_factory(2000), seed=13)
+        result = harness.run(single_sided(7, 12_000), bank=0)
+        assert result.max_unmitigated < 1500
+        assert result.mitigations > 20
+
+    def test_atm_caps_delay_exposure(self):
+        # Deterministic selection (p = 1): the row enters the DAR, then
+        # ATM must force the DRFM within ATM-TH further activations.
+        def factory(context):
+            policy = dream_r_para_factory(2000)(context)
+            policy.probability = 1.0
+            return policy
+
+        harness = AttackHarness(factory, seed=13)
+        result = harness.run(single_sided(7, 500), bank=0)
+        atm_threshold = harness.policy.atm.threshold
+        assert result.max_unmitigated <= atm_threshold + 2
+
+    def test_mint_dream_r_single_row(self):
+        harness = AttackHarness(dream_r_mint_factory(2000), seed=13)
+        result = harness.run(single_sided(7, 10_000), bank=0)
+        # Decoupled MINT mitigates a hammered row at least every ~2
+        # windows; ATM caps the tail.
+        assert result.max_unmitigated < 3 * 99
+
+    def test_mint_dream_r_multi_bank(self):
+        harness = AttackHarness(dream_r_mint_factory(2000), seed=13)
+        pattern = [(bank, 7) for bank in range(8) for _ in range(4)]
+        harness.run(pattern * 400)
+        result = harness.result()
+        assert result.max_unmitigated < 3 * 99
+
+    def test_rate_limited_never_remitigates_within_horizon(self):
+        harness = AttackHarness(
+            dream_r_mint_factory(500, rate_limited=True), seed=13)
+        harness.run(circular(list(range(24)), 20_000), bank=0)
+        last_mitigated: dict[tuple[int, int], int] = {}
+        horizon = 2 * harness.timing.t_refi
+        for event in harness.subchannel.mitigation_log:
+            for bank, row in event.mitigated_rows:
+                key = (bank, row)
+                if key in last_mitigated:
+                    assert event.time_ps - last_mitigated[key] >= horizon
+                last_mitigated[key] = event.time_ps
+
+
+class TestCounterTrackers:
+    def test_graphene_deterministic_bound(self):
+        harness = AttackHarness(graphene_factory(1000), seed=17)
+        result = harness.run(single_sided(7, 5_000), bank=0)
+        # Misra-Gries mitigates every T_TH = 500 activations; the
+        # periodic reset can at most double the streak.
+        assert result.max_unmitigated <= 2 * 500 + 2
+
+    def test_dream_c_deterministic_bound(self):
+        harness = AttackHarness(dream_c_factory(500), seed=17)
+        result = harness.run(single_sided(7, 3_000), bank=0)
+        # The gang counter trips every T_TH = 250; a staggered reset in
+        # between can at most double the exposure -> never exceeds T_RH.
+        assert result.max_unmitigated <= 500
+
+    def test_dream_c_gang_attack_bound(self):
+        harness = AttackHarness(dream_c_factory(500), seed=17)
+        policy = harness.policy
+        assert isinstance(policy, DreamCPolicy)
+        rows = policy.mapper.rows_of(0, 5)
+        result = harness.run(circular(rows, 4_000), bank=0)
+        assert result.max_unmitigated <= 500
+
+    def test_abacus_bound(self):
+        harness = AttackHarness(abacus_factory(500), seed=17)
+        result = harness.run(single_sided(7, 3_000), bank=0)
+        assert result.max_unmitigated <= 2 * 250 + 2
+
+    def test_moat_bound(self):
+        harness = AttackHarness(moat_factory(500), seed=17)
+        result = harness.run(single_sided(7, 3_000), bank=0)
+        assert result.max_unmitigated <= 2 * 250 + 2
+
+
+class TestRelativeStrength:
+    def test_higher_threshold_means_fewer_mitigations(self):
+        low = AttackHarness(coupled_para_factory(1000), seed=19)
+        high = AttackHarness(coupled_para_factory(4000), seed=19)
+        pattern = single_sided(7, 8_000)
+        low_result = low.run(pattern, bank=0)
+        high_result = high.run(pattern, bank=0)
+        assert low_result.mitigations > high_result.mitigations

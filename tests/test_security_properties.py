@@ -1,0 +1,71 @@
+"""Property tests over the analytic security models."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.security import (gamma_tail, mint_window_dream_r,
+                                 mint_window_with_atm,
+                                 para_probability_dream_r,
+                                 para_probability_with_atm,
+                                 rmaq_threshold_penalty)
+from repro.trackers.mint import window_for_threshold
+from repro.trackers.para import probability_for_threshold
+
+THRESHOLDS = st.integers(min_value=100, max_value=100_000)
+
+
+class TestMonotonicity:
+    @given(t_rh=THRESHOLDS)
+    def test_para_probability_decreases_with_threshold(self, t_rh):
+        assert probability_for_threshold(t_rh) > \
+            probability_for_threshold(t_rh + 100)
+
+    @given(t_rh=THRESHOLDS)
+    def test_dream_r_always_needs_more_mitigations(self, t_rh):
+        assert para_probability_dream_r(t_rh) > \
+            probability_for_threshold(t_rh)
+
+    @given(t_rh=st.integers(min_value=1000, max_value=100_000))
+    def test_atm_sits_between_coupled_and_revised(self, t_rh):
+        coupled = probability_for_threshold(t_rh)
+        with_atm = para_probability_with_atm(t_rh)
+        revised = para_probability_dream_r(t_rh)
+        assert coupled <= with_atm <= revised
+
+    @given(t_rh=st.integers(min_value=1000, max_value=100_000))
+    def test_mint_windows_ordered(self, t_rh):
+        assert mint_window_dream_r(t_rh) <= \
+            mint_window_with_atm(t_rh) <= window_for_threshold(t_rh)
+
+
+class TestGammaTail:
+    @given(p=st.floats(min_value=1e-4, max_value=0.5, allow_nan=False),
+           t=st.floats(min_value=1.0, max_value=10_000.0,
+                       allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_gamma_tail_dominates_exponential(self, p, t):
+        # The delayed-DRFM failure probability is never below the
+        # coupled one: (1 + pT) e^{-pT} >= e^{-pT}.
+        assert gamma_tail(p, t) >= math.exp(-p * t)
+
+    @given(p=st.floats(min_value=1e-4, max_value=0.1, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_gamma_tail_is_probability(self, p):
+        for t in (1.0, 10.0, 100.0, 10_000.0):
+            value = gamma_tail(p, t)
+            assert 0.0 <= value <= 1.0 + 1e-12
+
+
+class TestRmaqPenalty:
+    @given(window=st.integers(min_value=1, max_value=500))
+    def test_penalty_nonnegative_and_bounded(self, window):
+        penalty = rmaq_threshold_penalty(window)
+        # The attacker's extra exposure cannot exceed 150 single-sided
+        # activations (= 75 double-sided).
+        assert 0 <= penalty <= 75
+
+    @given(window=st.integers(min_value=43, max_value=1000))
+    def test_penalty_vanishes_for_large_windows(self, window):
+        assert rmaq_threshold_penalty(window) == 0

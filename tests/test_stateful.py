@@ -1,0 +1,166 @@
+"""Stateful (rule-based) property tests for the core state machines.
+
+Hypothesis drives random command sequences against the bank state
+machine, the RMAQ and the disturbance model, checking the invariants
+that every policy in the repository silently relies on.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, invariant,
+                                 precondition, rule)
+
+from repro.core.rmaq import RATE_LIMIT_TREFI, RecentMitigationQueue
+from repro.dram.bank import Bank
+from repro.dram.disturbance import DisturbanceConfig, DisturbanceModel
+from repro.dram.timing import DDR5Timing
+
+
+class BankMachine(RuleBasedStateMachine):
+    """Random but legal command sequences against one bank."""
+
+    def __init__(self):
+        super().__init__()
+        self.timing = DDR5Timing.scaled(64)
+        self.bank = Bank(0, self.timing)
+        self.now = 0
+        self.acts = 0
+        self.last_act_start = -1
+
+    def _advance(self, by):
+        self.now = max(self.now, self.bank.busy_until_ps) + by
+
+    @precondition(lambda self: self.bank.open_row is None)
+    @rule(row=st.integers(min_value=0, max_value=127),
+          gap=st.integers(min_value=0, max_value=100_000))
+    def activate(self, row, gap):
+        self._advance(gap)
+        ready = self.bank.activate(row, self.now)
+        assert ready >= self.now
+        # tRC between consecutive ACT starts.
+        start = ready - self.timing.t_rcd
+        if self.last_act_start >= 0:
+            assert start - self.last_act_start >= self.timing.t_rc
+        self.last_act_start = start
+        self.acts += 1
+
+    @precondition(lambda self: self.bank.open_row is not None)
+    @rule(sample=st.booleans(),
+          gap=st.integers(min_value=0, max_value=100_000))
+    def precharge(self, sample, gap):
+        self._advance(gap)
+        row = self.bank.open_row
+        done = self.bank.precharge(self.now, sample=sample)
+        assert done >= self.now
+        assert self.bank.open_row is None
+        if sample:
+            assert self.bank.dar.row == row
+
+    @rule(duration=st.integers(min_value=0, max_value=500_000))
+    def block(self, duration):
+        before = self.bank.busy_until_ps
+        self.bank.block_until(self.now + duration)
+        assert self.bank.busy_until_ps >= before
+
+    @rule()
+    def mitigate(self):
+        dar_row = self.bank.dar.row
+        mitigated = self.bank.execute_mitigation(self.now + 240_000)
+        assert mitigated == dar_row
+        assert not self.bank.dar.valid
+
+    @invariant()
+    def busy_never_regresses(self):
+        assert self.bank.busy_until_ps >= 0
+
+    @invariant()
+    def stats_consistent(self):
+        assert self.bank.stats.activations == self.acts
+        assert self.bank.stats.samples <= self.bank.stats.precharges
+
+
+class RmaqMachine(RuleBasedStateMachine):
+    """Random inserts/queries against the rate-limit queue."""
+
+    TREFI = 3_900_000
+
+    def __init__(self):
+        super().__init__()
+        self.queue = RecentMitigationQueue(4, self.TREFI)
+        self.now = 0
+        self.inserted_at: dict[int, int] = {}
+
+    @rule(advance=st.integers(min_value=0, max_value=10_000_000))
+    def tick(self, advance):
+        self.now += advance
+
+    @rule(address=st.integers(min_value=0, max_value=9))
+    def insert(self, address):
+        self.queue.insert(address, self.now)
+        self.inserted_at[address] = self.now
+
+    @rule(address=st.integers(min_value=0, max_value=9))
+    def query(self, address):
+        hit = self.queue.contains(address, self.now)
+        if hit:
+            # A hit implies the address was inserted within the horizon.
+            last = self.inserted_at.get(address)
+            assert last is not None
+            assert (self.now // self.TREFI) - (last // self.TREFI) \
+                <= RATE_LIMIT_TREFI
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.queue) <= self.queue.capacity
+
+
+class DisturbanceMachine(RuleBasedStateMachine):
+    """Random hammering/refreshing against the disturbance model."""
+
+    def __init__(self):
+        super().__init__()
+        self.model = DisturbanceModel(DisturbanceConfig(t_rh=50),
+                                      rows_per_bank=64, seed=1)
+        self.time = 0
+
+    @rule(row=st.integers(min_value=0, max_value=63))
+    def hammer(self, row):
+        self.time += 1
+        self.model.on_activation(0, row, self.time)
+
+    @rule(row=st.integers(min_value=0, max_value=63))
+    def mitigate(self, row):
+        self.time += 1
+        self.model.on_mitigation(0, row, self.time)
+
+    @rule(first=st.integers(min_value=0, max_value=56))
+    def refresh_slice(self, first):
+        self.model.on_periodic_refresh(0, first, 8)
+        for row in range(first, min(first + 8, 64)):
+            assert self.model.charge(0, row) == 0.0
+
+    @invariant()
+    def charge_below_flip_threshold(self):
+        # Counting restarts at each flip, so live charge stays bounded.
+        assert self.model.max_charge() < 50
+
+    @invariant()
+    def charge_never_negative(self):
+        assert all(value >= 0.0
+                   for value in self.model._charge.values())
+
+
+TestBankMachine = BankMachine.TestCase
+TestBankMachine.settings = settings(max_examples=30,
+                                    stateful_step_count=40,
+                                    deadline=None)
+
+TestRmaqMachine = RmaqMachine.TestCase
+TestRmaqMachine.settings = settings(max_examples=40,
+                                    stateful_step_count=40,
+                                    deadline=None)
+
+TestDisturbanceMachine = DisturbanceMachine.TestCase
+TestDisturbanceMachine.settings = settings(max_examples=30,
+                                           stateful_step_count=50,
+                                           deadline=None)

@@ -1,0 +1,80 @@
+"""Unit tests for the storage calculators (Table 6 and comparisons)."""
+
+import pytest
+
+from repro.core.storage import (DreamCConfig, compare_storage,
+                                counter_bits, dream_c_config,
+                                vertical_factor)
+
+
+class TestVerticalFactor:
+    def test_table6_scaling(self):
+        assert vertical_factor(125) == 1
+        assert vertical_factor(250) == 2
+        assert vertical_factor(500) == 4
+        assert vertical_factor(1000) == 8
+
+    def test_rejects_below_base(self):
+        with pytest.raises(ValueError):
+            vertical_factor(100)
+
+
+class TestDreamCConfig:
+    @pytest.mark.parametrize("t_rh,gang,drfms,kb", [
+        (125, 32, 1, 3.0),
+        (250, 64, 2, 1.75),
+        (500, 128, 4, 1.0),
+        (1000, 256, 8, 0.5625),
+    ])
+    def test_table6_rows(self, t_rh, gang, drfms, kb):
+        config = dream_c_config(t_rh)
+        assert config.gang_size == gang
+        assert config.drfms_per_mitigation == drfms
+        assert config.sram_kb_per_bank() == pytest.approx(kb, rel=0.01)
+
+    def test_tracker_threshold_is_half(self):
+        assert dream_c_config(500).tracker_threshold == 250
+
+    def test_counter_bits(self):
+        assert counter_bits(125) == 6
+        assert counter_bits(250) == 7
+        assert counter_bits(500) == 8
+        assert counter_bits(1000) == 9
+
+    def test_mask_storage_68_bytes(self):
+        # 32 masks x 17 bits = 68 bytes per sub-channel (Section 5.4).
+        assert dream_c_config(125).mask_bits() == 68 * 8
+
+    def test_storage_multiplier(self):
+        base = dream_c_config(125)
+        doubled = dream_c_config(125, storage_multiplier=2)
+        assert doubled.dct_entries == 2 * base.dct_entries
+        assert doubled.sram_kb_per_bank() == pytest.approx(
+            2 * base.sram_kb_per_bank())
+
+    def test_scaled_rows(self):
+        config = dream_c_config(500, rows_per_bank=1024)
+        assert config.dct_entries == 256
+
+    def test_dct_entries_default_equals_rows_for_v1(self):
+        # "By default, the number of entries in DCT is equal to the
+        # number of rows in a single bank" (Section 5.4, V = 1).
+        assert dream_c_config(125).dct_entries == 128 * 1024
+
+
+class TestComparisons:
+    def test_graphene_ratio_at_500(self):
+        # Paper headline: 8x lower storage than Graphene at T_RH = 500.
+        comparison = compare_storage(500)
+        assert comparison.graphene_ratio == pytest.approx(8.0, rel=0.05)
+
+    def test_abacus_ratio_at_125(self):
+        # Paper headline: 6.3x lower storage than ABACuS at T_RH = 125.
+        comparison = compare_storage(125)
+        assert comparison.abacus_ratio == pytest.approx(6.33, rel=0.05)
+
+    def test_dream_c_always_smallest(self):
+        for t_rh in (125, 250, 500, 1000):
+            comparison = compare_storage(t_rh)
+            assert comparison.dream_c_kb < comparison.graphene_kb
+            assert comparison.dream_c_kb < comparison.abacus_kb

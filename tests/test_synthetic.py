@@ -1,0 +1,101 @@
+"""Unit tests for the synthetic trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.workloads.profiles import profile
+from repro.workloads.synthetic import (estimate_gap_ps, generate_lines,
+                                       generate_trace)
+
+
+@pytest.fixture
+def system():
+    return SystemConfig.baseline(refs_per_window=64)
+
+
+class TestGenerateLines:
+    def test_length(self, system):
+        rng = np.random.default_rng(1)
+        lines = generate_lines(profile("mcf"), system, 0, 5000, rng)
+        assert len(lines) == 5000
+
+    def test_addresses_in_range(self, system):
+        rng = np.random.default_rng(1)
+        lines = generate_lines(profile("add"), system, 0, 5000, rng)
+        total = (system.organization.total_rows
+                 * system.organization.cols_per_row)
+        assert lines.min() >= 0
+        assert lines.max() < total
+
+    def test_cores_use_disjoint_regions(self, system):
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        lines_a = generate_lines(profile("blender"), system, 0, 2000, rng_a)
+        lines_b = generate_lines(profile("blender"), system, 1, 2000, rng_b)
+        total = (system.organization.total_rows
+                 * system.organization.cols_per_row)
+        region = total // system.num_cores
+        assert lines_a.max() < region
+        assert region <= lines_b.min()
+
+    def test_streaming_has_sequential_runs(self, system):
+        rng = np.random.default_rng(1)
+        lines = generate_lines(profile("add"), system, 0, 5000, rng)
+        deltas = np.diff(lines)
+        # Most consecutive pairs advance by exactly one line.
+        assert np.mean(deltas == 1) > 0.5
+
+    def test_irregular_is_scattered(self, system):
+        rng = np.random.default_rng(1)
+        lines = generate_lines(profile("tc"), system, 0, 5000, rng)
+        deltas = np.diff(lines)
+        assert np.mean(deltas == 1) < 0.6
+
+    def test_hot_set_concentration(self, system):
+        # A profile with a large hot share revisits a small line set.
+        rng = np.random.default_rng(1)
+        lines = generate_lines(profile("parest"), system, 0, 20_000, rng)
+        unique = len(np.unique(lines))
+        assert unique < len(lines) * 0.8
+
+    def test_rejects_zero_length(self, system):
+        with pytest.raises(ValueError):
+            generate_lines(profile("mcf"), system, 0, 0,
+                           np.random.default_rng(1))
+
+
+class TestGapEstimate:
+    def test_light_workload_long_gap(self, system):
+        light = estimate_gap_ps(profile("blender"), system)
+        heavy = estimate_gap_ps(profile("add"), system)
+        assert light > heavy
+
+    def test_nonnegative(self, system):
+        for name in ("blender", "add", "tc", "mcf"):
+            assert estimate_gap_ps(profile(name), system) >= 0
+
+
+class TestGenerateTrace:
+    def test_deterministic_for_seed(self, system):
+        a = generate_trace(profile("mcf"), system, 0, 1000, seed=5)
+        b = generate_trace(profile("mcf"), system, 0, 1000, seed=5)
+        assert (a.row == b.row).all()
+        assert (a.bank == b.bank).all()
+
+    def test_different_seeds_differ(self, system):
+        a = generate_trace(profile("mcf"), system, 0, 1000, seed=5)
+        b = generate_trace(profile("mcf"), system, 0, 1000, seed=6)
+        assert not (a.row == b.row).all()
+
+    def test_explicit_gap(self, system):
+        trace = generate_trace(profile("mcf"), system, 0, 100, seed=5,
+                               gap_ps=777)
+        assert (trace.gap_ps == 777).all()
+
+    def test_coordinates_in_range(self, system):
+        trace = generate_trace(profile("cc"), system, 3, 2000, seed=5)
+        org = system.organization
+        assert trace.subchannel.max() < org.subchannels
+        assert trace.bank.max() < org.banks
+        assert trace.row.max() < org.rows_per_bank

@@ -1,0 +1,73 @@
+"""Unit tests for the Table 3 activation-census machinery."""
+
+import pytest
+
+from repro.experiments.table3 import ActivationCensusPolicy, WindowHistogram
+from repro.mc.policy import PolicyContext
+
+
+class TestWindowHistogram:
+    def test_single_window_buckets(self):
+        histogram = WindowHistogram()
+        counts = {(0, 1): 1, (0, 2): 4, (0, 3): 5, (1, 9): 10}
+        histogram.add_window(counts, total_rows=10)
+        act0, act14, act5 = histogram.percentages(10)
+        assert act0 == pytest.approx(60.0)
+        assert act14 == pytest.approx(20.0)
+        assert act5 == pytest.approx(20.0)
+
+    def test_average_acts(self):
+        histogram = WindowHistogram()
+        histogram.add_window({(0, 1): 5, (0, 2): 5}, total_rows=10)
+        assert histogram.avg_acts_per_row(10) == pytest.approx(1.0)
+
+    def test_accumulates_across_windows(self):
+        histogram = WindowHistogram()
+        histogram.add_window({(0, 1): 1}, total_rows=4)
+        histogram.add_window({}, total_rows=4)
+        act0, act14, _ = histogram.percentages(4)
+        assert act0 == pytest.approx(87.5)  # 7 of 8 row-windows empty
+        assert act14 == pytest.approx(12.5)
+
+    def test_empty_histogram(self):
+        histogram = WindowHistogram()
+        assert histogram.percentages(10) == (100.0, 0.0, 0.0)
+        assert histogram.avg_acts_per_row(10) == 0.0
+
+
+class TestCensusPolicy:
+    def _policy(self, timing, organization):
+        context = PolicyContext(
+            subchannel=0,
+            num_banks=organization.banks,
+            banks_per_group=organization.banks_per_group,
+            rows_per_bank=organization.rows_per_bank,
+            timing=timing,
+            seed=1,
+        )
+        return ActivationCensusPolicy(context)
+
+    def test_counts_per_row(self, timing, organization):
+        policy = self._policy(timing, organization)
+        for _ in range(3):
+            policy.before_activate(0, 7, 0)
+        policy.before_activate(1, 7, 0)
+        policy.close_partial_window()
+        assert policy.histogram.acts == 4
+        # Two distinct (bank, row) keys touched.
+        touched = (policy.total_rows
+                   - policy.histogram.rows_act0 / policy.histogram.windows)
+        assert touched == 2
+
+    def test_window_boundary_snapshots(self, timing, organization):
+        policy = self._policy(timing, organization)
+        policy.before_activate(0, 7, 0)
+        # Crossing the window boundary folds the first window in.
+        policy.before_activate(0, 8, timing.t_refw + 1)
+        assert policy.histogram.windows == 1
+        policy.close_partial_window()  # no-op: a full window exists
+        assert policy.histogram.windows == 1
+
+    def test_never_mitigates(self, timing, organization):
+        policy = self._policy(timing, organization)
+        assert policy.before_activate(0, 7, 0) is False

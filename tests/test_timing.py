@@ -1,0 +1,121 @@
+"""Unit tests for the DDR5 timing parameters."""
+
+import pytest
+
+from repro.dram.timing import (JEDEC_REFS_PER_WINDOW, PS_PER_NS, DDR5Timing,
+                               ns)
+
+
+class TestNsConversion:
+    def test_integral_nanoseconds(self):
+        assert ns(14) == 14_000
+
+    def test_fractional_nanoseconds_round(self):
+        assert ns(16 / 6.0) == 2_667
+
+    def test_zero(self):
+        assert ns(0) == 0
+
+
+class TestJedecTimings:
+    def test_table2_values(self):
+        timing = DDR5Timing.jedec()
+        assert timing.t_rcd == ns(14)
+        assert timing.t_rp == ns(14)
+        assert timing.t_rc == ns(46)
+        assert timing.t_refi == ns(3900)
+        assert timing.t_rfc == ns(410)
+        assert timing.t_drfm_sb == ns(240)
+        assert timing.t_drfm_ab == ns(280)
+
+    def test_nrr_matches_drfmsb(self):
+        # The paper assumes NRR takes the same time as DRFMsb.
+        timing = DDR5Timing.jedec()
+        assert timing.t_nrr == timing.t_drfm_sb
+
+    def test_full_window_is_32ms(self):
+        timing = DDR5Timing.jedec()
+        assert timing.refs_per_window == JEDEC_REFS_PER_WINDOW
+        assert timing.t_refw == 8192 * ns(3900)
+        assert timing.t_refw == pytest.approx(32e6 * PS_PER_NS, rel=0.01)
+
+    def test_refresh_duty_cycle(self):
+        timing = DDR5Timing.jedec()
+        assert timing.refresh_duty_cycle == pytest.approx(410 / 3900)
+
+    def test_t_ras(self):
+        timing = DDR5Timing.jedec()
+        assert timing.t_ras == timing.t_rc - timing.t_rp
+
+    def test_validate_passes(self):
+        DDR5Timing.jedec().validate()
+
+
+class TestScaledTimings:
+    def test_window_shrinks_only(self):
+        scaled = DDR5Timing.scaled(256)
+        jedec = DDR5Timing.jedec()
+        assert scaled.refs_per_window == 256
+        assert scaled.t_refi == jedec.t_refi
+        assert scaled.t_rfc == jedec.t_rfc
+        assert scaled.t_rc == jedec.t_rc
+
+    def test_duty_cycle_preserved(self):
+        assert DDR5Timing.scaled(64).refresh_duty_cycle == \
+            DDR5Timing.jedec().refresh_duty_cycle
+
+    def test_window_length(self):
+        assert DDR5Timing.scaled(256).t_refw == 256 * ns(3900)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DDR5Timing.scaled(0)
+
+    def test_with_window(self):
+        timing = DDR5Timing.jedec().with_window(128)
+        assert timing.refs_per_window == 128
+        with pytest.raises(ValueError):
+            timing.with_window(-1)
+
+
+class TestPracTimings:
+    def test_trp_extension(self):
+        prac = DDR5Timing.prac()
+        assert prac.t_rp == ns(36)
+
+    def test_trc_extended_by_same_amount(self):
+        prac = DDR5Timing.prac()
+        jedec = DDR5Timing.jedec()
+        assert prac.t_rc - jedec.t_rc == prac.t_rp - jedec.t_rp
+
+    def test_other_timings_unchanged(self):
+        prac = DDR5Timing.prac()
+        jedec = DDR5Timing.jedec()
+        assert prac.t_rcd == jedec.t_rcd
+        assert prac.t_cl == jedec.t_cl
+        assert prac.t_drfm_ab == jedec.t_drfm_ab
+
+    def test_validate_passes(self):
+        DDR5Timing.prac().validate()
+
+
+class TestValidation:
+    def test_rejects_trc_too_small(self):
+        bad = DDR5Timing(t_rc=ns(10))
+        with pytest.raises(ValueError, match="tRC"):
+            bad.validate()
+
+    def test_rejects_trfc_exceeding_trefi(self):
+        bad = DDR5Timing(t_rfc=ns(4000))
+        with pytest.raises(ValueError, match="tRFC"):
+            bad.validate()
+
+    def test_rejects_drfmsb_longer_than_ab(self):
+        bad = DDR5Timing(t_drfm_sb=ns(300))
+        with pytest.raises(ValueError, match="tDRFMsb"):
+            bad.validate()
+
+    def test_rejects_nonpositive_parameter(self):
+        bad = DDR5Timing(t_rcd=0)
+        with pytest.raises(ValueError, match="positive"):
+            bad.validate()

@@ -1,0 +1,155 @@
+"""Tests for command tracing and DRAM-protocol verification."""
+
+import pytest
+
+from repro.core.dream_r import dream_r_para_factory
+from repro.dram.commands import Command
+from repro.dram.subchannel import SubChannel
+from repro.mc.controller import SubChannelController
+from repro.mc.mitigation import coupled_para_factory
+from repro.mc.tracer import CommandTracer, verify_protocol
+
+
+def traced_controller(timing, organization, policy=None):
+    subchannel = SubChannel(0, timing, organization.banks,
+                            organization.banks_per_group)
+    controller = SubChannelController(subchannel, timing, policy)
+    tracer = CommandTracer()
+    controller.attach_tracer(tracer)
+    return controller, tracer
+
+
+class TestTracing:
+    def test_act_recorded_per_miss(self, timing, organization):
+        controller, tracer = traced_controller(timing, organization)
+        finish = controller.service(0, 5, 0)
+        controller.service(0, 5, finish)  # row hit: no command
+        assert tracer.count(Command.ACT) == 1
+        act = tracer.per_bank(0)[0]
+        assert act.command is Command.ACT
+        assert act.row == 5
+
+    def test_conflict_records_pre(self, timing, organization):
+        controller, tracer = traced_controller(timing, organization)
+        controller.service(0, 5, 0)
+        controller.service(0, 6, 10 ** 6)
+        assert tracer.count(Command.PRE) == 1
+        assert tracer.count(Command.ACT) == 2
+
+    def test_ref_recorded(self, timing, organization):
+        controller, tracer = traced_controller(timing, organization)
+        controller.service(0, 5, timing.t_refi * 2 + 1)
+        assert tracer.count(Command.REF) == 2
+
+    def test_explicit_sample_sequence(self, timing, organization):
+        controller, tracer = traced_controller(timing, organization)
+        controller.explicit_sample(3, 77, 0)
+        kinds = [issued.command for issued in tracer.per_bank(3)]
+        assert kinds == [Command.ACT, Command.PRE_SAMPLE]
+
+    def test_mitigation_commands_recorded(self, timing, organization,
+                                          context):
+        policy = coupled_para_factory(2000)(context)
+        policy.probability = 1.0
+        controller, tracer = traced_controller(timing, organization,
+                                               policy)
+        controller.service(0, 5, 0)
+        assert tracer.count(Command.DRFM_SB) == 1
+        assert tracer.count(Command.PRE_SAMPLE) == 1
+
+    def test_capacity_bound(self, timing, organization):
+        controller, tracer = traced_controller(timing, organization)
+        tracer.capacity = 2
+        finish = 0
+        for row in range(5):
+            finish = controller.service(0, row, finish + 10 ** 6)
+        assert len(tracer.commands) == 2
+        assert tracer.dropped > 0
+
+    def test_tail_renders(self, timing, organization):
+        controller, tracer = traced_controller(timing, organization)
+        controller.service(0, 5, 0)
+        assert "ACT" in tracer.tail()
+
+
+class TestProtocolChecker:
+    def test_clean_simulation_has_no_violations(self, timing,
+                                                organization, context):
+        policy = dream_r_para_factory(2000)(context)
+        controller, tracer = traced_controller(timing, organization,
+                                               policy)
+        finish = 0
+        for i in range(500):
+            finish = controller.service(i % 8, (i * 7) % 64, finish)
+        assert verify_protocol(tracer) == []
+        assert tracer.count(Command.ACT) > 0
+
+    def test_detects_double_act(self):
+        tracer = CommandTracer()
+        tracer.record(0, Command.ACT, bank=0, row=1)
+        tracer.record(10, Command.ACT, bank=0, row=2)
+        violations = verify_protocol(tracer)
+        assert len(violations) == 1
+        assert "ACT while row" in violations[0].reason
+
+    def test_detects_orphan_precharge(self):
+        tracer = CommandTracer()
+        tracer.record(0, Command.PRE, bank=0)
+        violations = verify_protocol(tracer)
+        assert violations and "no open row" in violations[0].reason
+
+    def test_ref_closes_rows(self):
+        tracer = CommandTracer()
+        tracer.record(0, Command.ACT, bank=0, row=1)
+        tracer.record(10, Command.REF, bank=None)
+        tracer.record(20, Command.ACT, bank=0, row=2)
+        assert verify_protocol(tracer) == []
+
+    def test_drfmab_closes_all_rows(self):
+        tracer = CommandTracer()
+        tracer.record(0, Command.ACT, bank=0, row=1)
+        tracer.record(0, Command.ACT, bank=1, row=1)
+        tracer.record(10, Command.DRFM_AB, bank=0)
+        tracer.record(20, Command.ACT, bank=0, row=2)
+        tracer.record(20, Command.ACT, bank=1, row=2)
+        assert verify_protocol(tracer) == []
+
+    def test_end_to_end_full_run_is_protocol_clean(self, small_system,
+                                                   small_sim):
+        # Attach tracers to a complete closed-loop run with DREAM-R and
+        # verify every sub-channel's command stream is DRAM-legal.
+        from repro.mc.controller import MemoryController
+        from repro.cpu.core import Core
+        from repro.sim.engine import EventQueue
+        from repro.workloads.builder import build_traces, clear_cache
+
+        clear_cache()
+        traces = build_traces("mcf", small_system, small_sim,
+                              calibrate=False)
+        mc = MemoryController(small_system.organization,
+                              small_system.timing,
+                              dream_r_para_factory(2000), seed=1)
+        tracers = []
+        for controller in mc.controllers:
+            tracer = CommandTracer()
+            controller.attach_tracer(tracer)
+            tracers.append(tracer)
+        cores = [Core(i, traces[i], 800, small_system.mlp_per_core)
+                 for i in range(small_system.num_cores)]
+        queue = EventQueue()
+        for core in cores:
+            for slot in range(core.mlp):
+                fetched = core.fetch(slot)
+                if fetched:
+                    queue.push(fetched[1], fetched[0])
+        while queue:
+            now, request = queue.pop()
+            finish = mc.service(request.subchannel, request.bank,
+                                request.row, now)
+            cores[request.core].complete(finish)
+            fetched = cores[request.core].fetch(request.slot)
+            if fetched:
+                queue.push(finish + fetched[1], fetched[0])
+        for tracer in tracers:
+            assert verify_protocol(tracer) == []
+        clear_cache()

@@ -1,0 +1,120 @@
+"""Unit tests for trace persistence and external-trace import."""
+
+import numpy as np
+import pytest
+
+from repro.dram.address import MOPMapper
+from repro.sim.config import SimConfig, SystemConfig
+from repro.workloads.io import (DEFAULT_TEXT_GAP_NS, load_npz, load_text,
+                                save_npz, save_text)
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.profiles import profile
+
+
+@pytest.fixture
+def trace():
+    system = SystemConfig.baseline(refs_per_window=64)
+    return generate_trace(profile("mcf"), system, 0, 500, seed=9)
+
+
+@pytest.fixture
+def mapper(organization):
+    return MOPMapper(organization)
+
+
+class TestNpzRoundTrip:
+    def test_exact_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_npz(trace, path)
+        loaded = load_npz(path)
+        assert loaded.name == trace.name
+        assert (loaded.subchannel == trace.subchannel).all()
+        assert (loaded.bank == trace.bank).all()
+        assert (loaded.row == trace.row).all()
+        assert (loaded.gap_ps == trace.gap_ps).all()
+
+    def test_loaded_trace_runs(self, trace, tmp_path, small_system):
+        from repro.sim.runner import run_simulation
+
+        path = tmp_path / "trace.npz"
+        save_npz(trace, path)
+        loaded = load_npz(path)
+        sim = SimConfig(requests_per_core=200, seed=1)
+        result = run_simulation(small_system, [loaded, loaded], sim)
+        assert result.requests_completed == 400
+
+
+class TestTextFormat:
+    def test_parse_basic(self, tmp_path, mapper):
+        path = tmp_path / "trace.txt"
+        path.write_text("# comment\n64 10\n0x80\n\n192 5\n")
+        trace = load_text(path, mapper)
+        assert len(trace) == 3
+        assert trace.gap_ps[0] == 10_000
+        assert trace.gap_ps[1] == DEFAULT_TEXT_GAP_NS * 1000
+        assert trace.name == "trace"
+
+    def test_addresses_decoded_via_mop(self, tmp_path, mapper):
+        path = tmp_path / "trace.txt"
+        path.write_text("0\n4\n")
+        trace = load_text(path, mapper)
+        a = mapper.map_line(0)
+        b = mapper.map_line(4)
+        assert (trace.bank[0], trace.row[0]) == (a.bank, a.row)
+        assert (trace.bank[1], trace.row[1]) == (b.bank, b.row)
+
+    def test_wraps_large_addresses(self, tmp_path, mapper):
+        path = tmp_path / "trace.txt"
+        path.write_text(f"{mapper.total_lines + 5}\n")
+        trace = load_text(path, mapper)
+        expected = mapper.map_line(5)
+        assert trace.row[0] == expected.row
+
+    def test_custom_name(self, tmp_path, mapper):
+        path = tmp_path / "trace.txt"
+        path.write_text("0\n")
+        assert load_text(path, mapper, name="custom").name == "custom"
+
+    def test_rejects_garbage(self, tmp_path, mapper):
+        path = tmp_path / "trace.txt"
+        path.write_text("not-an-address\n")
+        with pytest.raises(ValueError, match="bad address"):
+            load_text(path, mapper)
+
+    def test_rejects_negative(self, tmp_path, mapper):
+        path = tmp_path / "trace.txt"
+        path.write_text("-5\n")
+        with pytest.raises(ValueError, match="non-negative"):
+            load_text(path, mapper)
+
+    def test_rejects_extra_fields(self, tmp_path, mapper):
+        path = tmp_path / "trace.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError, match="expected"):
+            load_text(path, mapper)
+
+    def test_rejects_bad_gap(self, tmp_path, mapper):
+        path = tmp_path / "trace.txt"
+        path.write_text("1 xx\n")
+        with pytest.raises(ValueError, match="bad gap"):
+            load_text(path, mapper)
+
+    def test_rejects_empty_file(self, tmp_path, mapper):
+        path = tmp_path / "trace.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError, match="no requests"):
+            load_text(path, mapper)
+
+
+class TestTextRoundTrip:
+    def test_coordinates_preserved(self, tmp_path, mapper, organization):
+        system = SystemConfig.baseline(refs_per_window=64)
+        original = generate_trace(profile("cc"), system, 0, 300, seed=4)
+        path = tmp_path / "trace.txt"
+        save_text(original, path, mapper)
+        loaded = load_text(path, mapper)
+        assert (loaded.subchannel == original.subchannel).all()
+        assert (loaded.bank == original.bank).all()
+        assert (loaded.row == original.row).all()
+        # The text format is nanosecond-granular: gaps round down.
+        assert (np.abs(loaded.gap_ps - original.gap_ps) < 1000).all()
