@@ -6,6 +6,13 @@ workload subset; ``REPRO_FULL=1`` switches to the full 22-workload sweep.
 Every run writes its rendered result table to ``results/<name>.txt`` next
 to this directory so the regenerated numbers persist beyond the pytest
 output.
+
+Each benchmark also runs under a profiling-only telemetry instance (no
+journal, no timeline cost beyond once-per-N-tREFI reads) and reports the
+engine's **events/sec** from the throughput gauge — the baseline
+trajectory future performance PRs regress against.  The figure is
+printed, stored in ``benchmark.extra_info`` and appended to the results
+file.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ import pathlib
 import pytest
 
 from repro.experiments.common import ExperimentResult, full_mode_enabled
+from repro.obs import Telemetry
+from repro.obs import runtime as obs_runtime
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -25,17 +34,30 @@ def experiment_runner(benchmark):
 
     def run(name: str, runner, **kwargs) -> ExperimentResult:
         quick = not full_mode_enabled()
-        result = benchmark.pedantic(
-            lambda: runner(quick=quick, **kwargs), rounds=1, iterations=1)
+        telemetry = Telemetry(profile=True)
+
+        def instrumented() -> ExperimentResult:
+            with obs_runtime.activated(telemetry):
+                return runner(quick=quick, **kwargs)
+
+        result = benchmark.pedantic(instrumented, rounds=1, iterations=1)
         assert isinstance(result, ExperimentResult)
         assert result.rows, f"{name} produced no rows"
         RESULTS_DIR.mkdir(exist_ok=True)
         rendered = result.render()
+        throughput = telemetry.profiler.throughput
+        if throughput.events:
+            rendered += (f"\nengine throughput: "
+                         f"{throughput.events_per_sec:,.0f} events/s "
+                         f"({throughput.events:,} events)")
         (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
         print()
         print(rendered)
         benchmark.extra_info["experiment"] = name
         benchmark.extra_info["mode"] = "full" if not quick else "quick"
+        benchmark.extra_info["events_per_sec"] = round(
+            throughput.events_per_sec)
+        benchmark.extra_info["events"] = throughput.events
         return result
 
     return run

@@ -5,19 +5,29 @@ Subcommands:
 * ``list`` — show the available experiments (one per paper table/figure).
 * ``run <names...>`` — run experiments and print their result tables
   (``--full`` sweeps all 22 workloads; default is the quick subset).
+* ``report`` — run experiments and write a combined markdown report.
+* ``stats <journal.jsonl>`` — summarise a telemetry run journal.
 * ``storage <t_rh>`` — print the full-size storage comparison.
 * ``security <t_rh>`` — print the revised DREAM-R parameters.
+* ``plan <t_rh>`` — recommend a deployment for a slowdown budget.
+
+``run`` and ``report`` accept the telemetry flags ``--journal FILE``
+(JSONL run journal), ``--metrics-out FILE`` (metrics snapshot JSON),
+``--profile`` (wall-clock phase table) and ``--sample-every N``
+(timeline cadence in tREFI).  Telemetry is off unless one of these is
+given, and enabling it does not change any simulated result.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.core.security import revised_parameters
 from repro.core.storage import compare_storage
 from repro.experiments import registry
+from repro.obs import runtime as obs_runtime
+from repro.obs.profiling import Stopwatch
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -26,42 +36,76 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_telemetry(args: argparse.Namespace):
+    """Construct a Telemetry from CLI flags, or ``None`` if all are off."""
+    if not (args.journal or args.metrics_out or args.profile):
+        return None
+    from repro.obs import Telemetry
+    from repro.obs.timeline import DEFAULT_SAMPLE_EVERY_REFI
+
+    sample_every = args.sample_every or DEFAULT_SAMPLE_EVERY_REFI
+    return Telemetry(journal_path=args.journal,
+                     sample_every_refi=sample_every,
+                     profile=args.profile)
+
+
+def _emit_telemetry(args: argparse.Namespace, telemetry) -> None:
+    """Finalize telemetry: journal close, metrics dump, profile print."""
+    if telemetry is None:
+        return
+    telemetry.finalize()
+    if args.metrics_out:
+        telemetry.write_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if args.journal:
+        print(f"journal written to {args.journal}")
+    if args.profile:
+        print()
+        print("== wall-clock profile ==")
+        print(telemetry.profiler.render())
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = args.experiments or registry.names()
-    for name in names:
-        runner = registry.get(name)
-        start = time.time()
-        result = runner(quick=not args.full, seed=args.seed)
-        if args.json:
-            print(result.to_json())
-        else:
-            print(result.render())
-            if args.chart:
-                from repro.analysis.charts import chart_result
+    telemetry = _build_telemetry(args)
+    with obs_runtime.activated(telemetry):
+        for name in names:
+            runner = registry.get(name)
+            watch = Stopwatch()
+            result = runner(quick=not args.full, seed=args.seed)
+            if args.json:
+                print(result.to_json())
+            else:
+                print(result.render())
+                if args.chart:
+                    from repro.analysis.charts import chart_result
 
-                chart = chart_result(result.rows)
-                if chart:
-                    print()
-                    print(chart)
-            print(f"[{name} finished in {time.time() - start:.1f}s]")
-            print()
+                    chart = chart_result(result.rows)
+                    if chart:
+                        print()
+                        print(chart)
+                print(f"[{name} finished in {watch.elapsed_s:.1f}s]")
+                print()
+    _emit_telemetry(args, telemetry)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     names = args.experiments or registry.names()
+    telemetry = _build_telemetry(args)
     sections = ["# DREAM reproduction report", ""]
-    for name in names:
-        runner = registry.get(name)
-        start = time.time()
-        result = runner(quick=not args.full, seed=args.seed)
-        sections.append(f"## {name}: {result.title}")
-        sections.append("")
-        sections.append("```")
-        sections.append(result.render())
-        sections.append("```")
-        sections.append(f"_regenerated in {time.time() - start:.1f}s_")
-        sections.append("")
+    with obs_runtime.activated(telemetry):
+        for name in names:
+            runner = registry.get(name)
+            watch = Stopwatch()
+            result = runner(quick=not args.full, seed=args.seed)
+            sections.append(f"## {name}: {result.title}")
+            sections.append("")
+            sections.append("```")
+            sections.append(result.render())
+            sections.append("```")
+            sections.append(f"_regenerated in {watch.elapsed_s:.1f}s_")
+            sections.append("")
     report = "\n".join(sections)
     if args.output:
         with open(args.output, "w") as handle:
@@ -69,6 +113,84 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"report written to {args.output}")
     else:
         print(report)
+    _emit_telemetry(args, telemetry)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.charts import bar_chart
+    from repro.obs.journal import load_journal
+
+    records = load_journal(args.journal)
+    if not records:
+        print(f"{args.journal}: empty journal")
+        return 1
+    by_kind: dict[str, list[dict]] = {}
+    for record in records:
+        by_kind.setdefault(record["kind"], []).append(record)
+    print(f"== journal: {args.journal} ==")
+    print("records: " + ", ".join(
+        f"{kind}={len(items)}" for kind, items in sorted(by_kind.items())))
+
+    summaries = by_kind.get("summary", [])
+    for summary in summaries[:args.max_runs]:
+        print(f"run {summary.get('run', '?')}: "
+              f"{summary.get('workload')}/{summary.get('policy')} "
+              f"end={summary.get('end_time_ps')} ps, "
+              f"requests={summary.get('requests')}, "
+              f"hit-rate={summary.get('row_hit_rate')}, "
+              f"mitigations={summary.get('mitigations')}, "
+              f"rlp={summary.get('rlp')}")
+    if len(summaries) > args.max_runs:
+        print(f"(+{len(summaries) - args.max_runs} more runs; "
+              f"raise --max-runs to list them)")
+
+    mitigations = by_kind.get("mitigation", [])
+    if mitigations:
+        per_command: dict[str, list[int]] = {}
+        for record in mitigations:
+            per_command.setdefault(str(record.get("cmd")), []).append(
+                int(record.get("rlp", 0)))
+        print()
+        print("mitigation commands:")
+        for command, rlps in sorted(per_command.items()):
+            mean_rlp = sum(rlps) / len(rlps)
+            print(f"  {command:8} x{len(rlps):<6} avg rlp={mean_rlp:.2f}")
+
+    samples = by_kind.get("sample", [])
+    if samples:
+        print()
+        print("activations per sample tick (all sub-channels):")
+        per_tick: dict[int, int] = {}
+        for record in samples:
+            tick = int(record.get("tick", 0))
+            per_tick[tick] = per_tick.get(tick, 0) + int(
+                record.get("acts", 0))
+        items = [(f"t{tick}", float(acts))
+                 for tick, acts in sorted(per_tick.items())]
+        if len(items) > args.max_bars:
+            # Re-bucket long runs so the chart stays terminal-sized.
+            step = -(-len(items) // args.max_bars)
+            items = [
+                (f"t{i * step}",
+                 sum(value for _, value in items[i * step:(i + 1) * step]))
+                for i in range(-(-len(items) // step))
+            ]
+        print(bar_chart(items, unit=" acts"))
+
+    for profile in by_kind.get("profile", []):
+        phases = profile.get("phases", {})
+        if phases:
+            print()
+            print("wall-clock phases:")
+            for name, data in sorted(phases.items(),
+                                     key=lambda kv: -kv[1]["seconds"]):
+                print(f"  {name:24} {data['seconds']:9.3f}s "
+                      f"x{data['calls']}")
+        throughput = profile.get("throughput", {})
+        if throughput.get("events"):
+            print(f"engine throughput: "
+                  f"{throughput['events_per_sec']:,.0f} events/s")
     return 0
 
 
@@ -96,6 +218,18 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0 if plan.ok else 1
 
 
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--journal", metavar="FILE",
+                        help="write a JSONL telemetry journal")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write a metrics snapshot (JSON)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print wall-clock phase timings")
+    parser.add_argument("--sample-every", type=int, metavar="N",
+                        help="timeline sampling period in tREFI "
+                             "(default 8)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -116,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="emit machine-readable JSON")
     run_parser.add_argument("--chart", action="store_true",
                             help="append a terminal bar chart")
+    _add_telemetry_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     report_parser = sub.add_parser(
@@ -126,7 +261,18 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--seed", type=int, default=2025)
     report_parser.add_argument("-o", "--output",
                                help="write the report to a file")
+    _add_telemetry_flags(report_parser)
     report_parser.set_defaults(func=_cmd_report)
+
+    stats_parser = sub.add_parser(
+        "stats", help="summarise a telemetry journal (JSONL)")
+    stats_parser.add_argument("journal", help="journal file to read")
+    stats_parser.add_argument("--max-bars", type=int, default=24,
+                              help="bucket the sample chart to at most "
+                                   "this many bars")
+    stats_parser.add_argument("--max-runs", type=int, default=24,
+                              help="list at most this many run summaries")
+    stats_parser.set_defaults(func=_cmd_stats)
 
     storage_parser = sub.add_parser("storage",
                                     help="storage comparison at a threshold")

@@ -188,7 +188,7 @@ class DreamCPolicy(MitigationPolicy):
                 at = start + position * self._timing.t_rrd
                 ready = max(ready, self.port.explicit_sample(bank, row, at))
             event = self.port.issue(Command.DRFM_AB, trigger_bank, ready)
-            self.stats.record_event(event)
+            self.record_event(event)
             self.drfm_rounds += 1
             start = ready + self._timing.t_drfm_ab
 

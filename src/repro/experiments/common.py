@@ -14,10 +14,12 @@ paired because traces are deterministic per (workload, system, seed).
 from __future__ import annotations
 
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.analysis.slowdown import SlowdownSeries
 from repro.mc.policy import PolicyFactory
+from repro.obs import runtime as obs_runtime
 from repro.sim.config import SimConfig, SystemConfig
 from repro.sim.results import ComparisonResult
 from repro.sim.runner import run_simulation
@@ -136,6 +138,15 @@ def _fmt(value) -> str:
     return str(value)
 
 
+def _phase(name: str):
+    """Wall-clock phase timer when ambient telemetry is active, else a
+    no-op context manager (the disabled-path guard for experiments)."""
+    telemetry = obs_runtime.active()
+    if telemetry is None:
+        return nullcontext()
+    return telemetry.phase(name)
+
+
 def sweep_designs(designs: list[DesignSpec],
                   system: SystemConfig,
                   sim: SimConfig,
@@ -146,13 +157,16 @@ def sweep_designs(designs: list[DesignSpec],
         workloads = profiles_for(quick=quick)
     series = {spec.name: SlowdownSeries(spec.name) for spec in designs}
     for workload in workloads:
-        traces = build_traces(workload, system, sim)
-        baseline = run_simulation(system, traces, sim)
+        with _phase("build_traces"):
+            traces = build_traces(workload, system, sim)
+        with _phase("run:baseline"):
+            baseline = run_simulation(system, traces, sim)
         for spec in designs:
             target_system = spec.system if spec.system is not None else \
                 system
-            mitigated = run_simulation(target_system, traces, sim,
-                                       spec.factory, spec.name)
+            with _phase(f"run:{spec.name}"):
+                mitigated = run_simulation(target_system, traces, sim,
+                                           spec.factory, spec.name)
             series[spec.name].add(ComparisonResult(baseline, mitigated))
     return series
 

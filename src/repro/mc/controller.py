@@ -144,17 +144,25 @@ class SubChannelController:
 
 
 class MemoryController:
-    """Front door: routes requests to per-sub-channel controllers."""
+    """Front door: routes requests to per-sub-channel controllers.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) is strictly opt-in:
+    when given, each policy receives its per-sub-channel instrument
+    handle and the timeline sampler hooks onto every refresh scheduler.
+    When ``None`` (the default) no observability code runs at all.
+    """
 
     def __init__(self, organization: Organization, timing: DDR5Timing,
                  policy_factory: PolicyFactory | None = None,
                  seed: int = 0,
                  record_mitigations: bool = False,
-                 page_policy: PagePolicy = PagePolicy.OPEN) -> None:
+                 page_policy: PagePolicy = PagePolicy.OPEN,
+                 telemetry=None) -> None:
         self.device = Device(organization, timing,
                              record_mitigations=record_mitigations)
         self.timing = timing
         self.organization = organization
+        self.telemetry = telemetry
         self.controllers: list[SubChannelController] = []
         self.policies: list[MitigationPolicy] = []
         for index, subchannel in enumerate(self.device.subchannels):
@@ -170,9 +178,13 @@ class MemoryController:
                 )
                 policy = policy_factory(context)
                 self.policies.append(policy)
-            self.controllers.append(
-                SubChannelController(subchannel, timing, policy,
-                                     page_policy=page_policy))
+            controller = SubChannelController(subchannel, timing, policy,
+                                              page_policy=page_policy)
+            if telemetry is not None:
+                if policy is not None:
+                    policy.telemetry = telemetry.channel(index)
+                telemetry.timeline.attach(controller, policy)
+            self.controllers.append(controller)
 
     def service(self, subchannel: int, bank: int, row: int,
                 now_ps: int) -> int:

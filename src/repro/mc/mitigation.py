@@ -63,14 +63,14 @@ class CoupledParaPolicy(MitigationPolicy):
         if self.command is Command.NRR:
             # NRR mitigates the specified row directly; no DAR involved.
             event = self.port.issue(Command.NRR, bank, now_ps, row=row)
-            self.stats.record_event(event)
+            self.record_event(event)
             return False
         return True
 
     def on_sampled(self, bank: int, row: int, now_ps: int) -> None:
         # Coupled design: mitigate as soon as the DAR is populated.
         event = self.port.issue(self.command, bank, now_ps)
-        self.stats.record_event(event)
+        self.record_event(event)
 
 
 class CoupledMintPolicy(MitigationPolicy):
@@ -113,7 +113,7 @@ class CoupledMintPolicy(MitigationPolicy):
         else:
             ready = self.port.explicit_sample(bank, row, now_ps)
             event = self.port.issue(self.command, bank, ready)
-        self.stats.record_event(event)
+        self.record_event(event)
 
 
 def coupled_para_factory(t_rh: int,

@@ -109,10 +109,25 @@ class MitigationPolicy(abc.ABC):
     def __init__(self) -> None:
         self.port: MitigationPort | None = None
         self.stats = PolicyStats()
+        #: Optional per-sub-channel telemetry handle
+        #: (:class:`repro.obs.SubchannelTelemetry`); ``None`` keeps the
+        #: instrumented paths to a single pointer check.
+        self.telemetry = None
 
     def bind(self, port: MitigationPort) -> None:
         """Attach the policy to its sub-channel controller."""
         self.port = port
+
+    def record_event(self, event: MitigationEvent) -> None:
+        """Account one issued mitigation command (stats + telemetry).
+
+        Every concrete policy routes its executed mitigation events
+        through here, which makes this the single chokepoint where the
+        observability layer sees mitigations regardless of design.
+        """
+        self.stats.record_event(event)
+        if self.telemetry is not None:
+            self.telemetry.mitigation(self.name, event)
 
     @abc.abstractmethod
     def before_activate(self, bank: int, row: int, now_ps: int) -> bool:

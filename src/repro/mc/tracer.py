@@ -18,6 +18,8 @@ sweeps leave it off.
 
 from __future__ import annotations
 
+import itertools
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.dram.commands import Command, IssuedCommand
@@ -25,36 +27,45 @@ from repro.dram.commands import Command, IssuedCommand
 
 @dataclass
 class CommandTracer:
-    """Bounded in-memory log of issued commands."""
+    """Bounded in-memory ring buffer of issued commands.
+
+    The buffer retains the most recent ``capacity`` commands: recording
+    beyond capacity evicts the *oldest* entry (and counts it in
+    ``dropped``), so a long simulation always keeps its latest window —
+    the part :func:`verify_protocol` and ``tail`` care about.
+    """
 
     subchannel: int = 0
     capacity: int = 1_000_000
-    commands: list[IssuedCommand] = field(default_factory=list)
+    commands: deque[IssuedCommand] = field(default_factory=deque)
     dropped: int = 0
 
     def record(self, time_ps: int, command: Command, bank: int | None,
                row: int | None = None) -> None:
         """Append one command (oldest entries drop beyond capacity)."""
-        if len(self.commands) >= self.capacity:
-            self.dropped += 1
-            return
         self.commands.append(IssuedCommand(
             time_ps=time_ps, command=command,
             subchannel=self.subchannel, bank=bank, row=row))
+        # Enforced here rather than via deque(maxlen=...) so that
+        # adjusting ``capacity`` after construction keeps working.
+        while len(self.commands) > self.capacity:
+            self.commands.popleft()
+            self.dropped += 1
 
     def count(self, command: Command) -> int:
-        """Number of recorded commands of one kind."""
+        """Number of retained commands of one kind."""
         return sum(1 for issued in self.commands
                    if issued.command is command)
 
     def per_bank(self, bank: int) -> list[IssuedCommand]:
-        """Commands targeting one bank, in issue order."""
+        """Retained commands targeting one bank, in issue order."""
         return [issued for issued in self.commands if issued.bank == bank]
 
     def tail(self, count: int = 20) -> str:
         """Human-readable rendering of the most recent commands."""
-        return "\n".join(issued.describe()
-                         for issued in self.commands[-count:])
+        start = max(0, len(self.commands) - count)
+        return "\n".join(issued.describe() for issued in
+                         itertools.islice(self.commands, start, None))
 
 
 @dataclass(frozen=True)
@@ -67,7 +78,7 @@ class ProtocolViolation:
 
 
 def verify_protocol(tracer: CommandTracer) -> list[ProtocolViolation]:
-    """Check per-bank command legality over a trace.
+    """Check per-bank command legality over the retained trace window.
 
     Rules enforced (in log order, which is the order the bank state
     machines applied the commands; the recorded timestamps are
@@ -76,14 +87,21 @@ def verify_protocol(tracer: CommandTracer) -> list[ProtocolViolation]:
     * ACT requires the bank's row to be closed;
     * PRE / PRE+Sample require an open row;
     * REF and DRFM close rows implicitly (banks precharge first).
+
+    When the tracer dropped its oldest entries (``dropped > 0``), the
+    retained window may start mid-stream, so a bank's *first* retained
+    command only establishes state — a leading PRE that closes a row
+    opened before the window is not a violation.
     """
     violations: list[ProtocolViolation] = []
     open_rows: dict[int, int | None] = {}
+    truncated = tracer.dropped > 0
     for index, issued in enumerate(tracer.commands):
         command = issued.command
         if command is Command.REF:
             for bank in open_rows:
                 open_rows[bank] = None
+            truncated = False  # REF synchronises every bank's state.
             continue
         if command in (Command.DRFM_SB, Command.DRFM_AB):
             # The device precharges the blocked banks; per-bank scope is
@@ -96,6 +114,12 @@ def verify_protocol(tracer: CommandTracer) -> list[ProtocolViolation]:
                 open_rows[issued.bank] = None
             continue
         if issued.bank is None:
+            continue
+        if truncated and issued.bank not in open_rows:
+            # First sighting of this bank in a truncated window: adopt
+            # the state the command implies instead of judging it.
+            open_rows[issued.bank] = (issued.row if command is Command.ACT
+                                      else None)
             continue
         state = open_rows.get(issued.bank)
         if command is Command.ACT:

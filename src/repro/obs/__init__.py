@@ -1,0 +1,217 @@
+"""Observability subsystem: metrics, timelines, journaling, profiling.
+
+Telemetry is strictly **opt-in**: nothing in this package runs unless a
+:class:`Telemetry` instance is constructed and handed to (or activated
+for) a simulation.  Every instrumented hot-path site in the simulator
+guards on a single ``is None`` check, so the disabled path costs one
+pointer comparison.
+
+The facade wires four independent pieces together:
+
+* :mod:`repro.obs.metrics`   — counters / gauges / histograms with
+  hierarchical names (``mc.sc0.drfm_sb_issued``);
+* :mod:`repro.obs.timeline`  — per-sub-channel time series sampled every
+  N tREFI of *simulated* time;
+* :mod:`repro.obs.journal`   — schema-versioned JSONL run journal
+  (file-backed or in-memory);
+* :mod:`repro.obs.profiling` — wall-clock phase timers and the engine
+  events/sec throughput gauge.
+
+Telemetry never perturbs simulation results: it only reads simulator
+state and maintains its own side structures, so identical seeds produce
+identical :class:`~repro.sim.results.RunResult`\\ s with telemetry on or
+off (enforced by ``tests/test_obs_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.dram.commands import Command
+from repro.obs.journal import (RunJournal, SCHEMA_VERSION, load_journal,
+                               read_journal)
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               RLP_BUCKETS)
+from repro.obs.profiling import (PhaseTimer, Profiler, Stopwatch,
+                                 ThroughputGauge)
+from repro.obs.timeline import (DEFAULT_SAMPLE_EVERY_REFI, TimelineSample,
+                                TimelineSampler)
+
+__all__ = [
+    "Command",
+    "Counter",
+    "DEFAULT_SAMPLE_EVERY_REFI",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseTimer",
+    "Profiler",
+    "RLP_BUCKETS",
+    "RunJournal",
+    "SCHEMA_VERSION",
+    "Stopwatch",
+    "SubchannelTelemetry",
+    "Telemetry",
+    "ThroughputGauge",
+    "TimelineSample",
+    "TimelineSampler",
+    "load_journal",
+    "read_journal",
+]
+
+
+class SubchannelTelemetry:
+    """Pre-bound per-sub-channel instruments (hot-path handle).
+
+    Instrument objects are resolved once at wiring time; recording a
+    mitigation is then plain attribute increments plus (when a journal is
+    attached) one JSONL record.
+    """
+
+    __slots__ = ("index", "journal", "mitigations", "rows_mitigated",
+                 "rlp_hist", "drfm_sb", "drfm_ab", "nrr")
+
+    def __init__(self, telemetry: "Telemetry", index: int) -> None:
+        registry = telemetry.registry
+        prefix = f"mc.sc{index}."
+        self.index = index
+        self.journal = telemetry.journal
+        self.mitigations = registry.counter(prefix + "mitigations")
+        self.rows_mitigated = registry.counter(prefix + "rows_mitigated")
+        self.rlp_hist = registry.histogram(prefix + "rlp")
+        self.drfm_sb = registry.counter(prefix + "drfm_sb_issued")
+        self.drfm_ab = registry.counter(prefix + "drfm_ab_issued")
+        self.nrr = registry.counter(prefix + "nrr_issued")
+
+    def mitigation(self, policy_name: str, event) -> None:
+        """Record one executed mitigation command (a MitigationEvent)."""
+        rlp = event.rlp
+        self.mitigations.inc()
+        self.rows_mitigated.inc(rlp)
+        self.rlp_hist.observe(rlp)
+        command = event.command
+        if command is Command.DRFM_SB:
+            self.drfm_sb.inc()
+        elif command is Command.DRFM_AB:
+            self.drfm_ab.inc()
+        elif command is Command.NRR:
+            self.nrr.inc()
+        if self.journal is not None:
+            self.journal.write(
+                "mitigation", sc=self.index, t_ps=event.time_ps,
+                cmd=command.value, policy=policy_name,
+                bank=event.trigger_bank, blocked=event.blocked_banks,
+                rlp=rlp)
+
+
+class Telemetry:
+    """Facade bundling registry, timeline sampler, journal and profiler.
+
+    Parameters
+    ----------
+    journal_path:
+        Write a JSONL journal to this file (``None`` disables file
+        output).
+    journal_memory:
+        Keep journal records in memory instead (tests, in-process
+        consumers).  Ignored when ``journal_path`` is given.
+    sample_every_refi:
+        Timeline sampling period in tREFI units.
+    profile:
+        Whether the caller intends to render wall-clock profiling; phase
+        timers are always maintained (they are per-run, not per-event),
+        the flag only gates reporting.
+    """
+
+    def __init__(self, journal_path: str | None = None,
+                 journal_memory: bool = False,
+                 sample_every_refi: int = DEFAULT_SAMPLE_EVERY_REFI,
+                 profile: bool = False) -> None:
+        self.registry = MetricsRegistry()
+        self.journal: RunJournal | None = None
+        if journal_path is not None:
+            self.journal = RunJournal(journal_path)
+        elif journal_memory:
+            self.journal = RunJournal()
+        self.timeline = TimelineSampler(sample_every_refi,
+                                        journal=self.journal)
+        self.profiler = Profiler()
+        self.profile = profile
+        self.run_index = -1
+        self._channels: dict[int, SubchannelTelemetry] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def channel(self, index: int) -> SubchannelTelemetry:
+        """The per-sub-channel instrument handle (created on demand)."""
+        channel = self._channels.get(index)
+        if channel is None:
+            channel = SubchannelTelemetry(self, index)
+            self._channels[index] = channel
+        return channel
+
+    def phase(self, name: str):
+        """Context manager timing one wall-clock phase."""
+        return self.profiler.phase(name)
+
+    # ------------------------------------------------------------------
+    # Run lifecycle (called by the simulation runner)
+    # ------------------------------------------------------------------
+    def begin_run(self, workload: str, policy: str, seed: int) -> None:
+        """Mark the start of one simulation run."""
+        self.run_index += 1
+        if self.journal is not None:
+            self.journal.write("run_start", run=self.run_index,
+                               workload=workload, policy=policy, seed=seed)
+
+    def end_run(self, result, events: int, seconds: float) -> None:
+        """Fold one completed run into throughput, gauges and journal."""
+        self.profiler.throughput.record(events, seconds)
+        registry = self.registry
+        registry.counter("sim.runs").inc()
+        registry.counter("sim.requests").inc(events)
+        registry.gauge("sim.events_per_sec").set(
+            self.profiler.throughput.events_per_sec)
+        if self.journal is not None:
+            self.journal.write(
+                "summary", run=self.run_index, workload=result.workload,
+                policy=result.policy, end_time_ps=result.end_time_ps,
+                requests=result.requests_completed,
+                activations=result.activations,
+                row_hit_rate=round(result.row_hit_rate, 4),
+                mitigations=result.mitigation_commands,
+                rows_mitigated=result.rows_mitigated,
+                rlp=round(result.average_rlp, 3),
+                bus_utilization=round(result.bus_utilization, 4),
+                wall_seconds=round(seconds, 6))
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Registry plus profiler state as one JSON-serialisable dict."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "metrics": self.registry.snapshot(),
+            "profiling": self.profiler.snapshot(),
+            "timeline_samples": len(self.timeline.samples),
+        }
+
+    def write_metrics(self, path: str) -> None:
+        """Dump :meth:`snapshot` as pretty-printed JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def finalize(self) -> None:
+        """Write the closing profile record and close the journal."""
+        if self._finalized:
+            return
+        self._finalized = True
+        if self.journal is not None:
+            if self.profiler.phases.seconds:
+                self.journal.write("profile",
+                                   **self.profiler.snapshot())
+            self.journal.close()

@@ -1,0 +1,149 @@
+"""Wall-clock profiling: phase timers and an events/sec throughput gauge.
+
+All timers use :func:`time.perf_counter` (monotonic, high resolution) —
+never ``time.time``, which can jump under NTP adjustments and has coarse
+resolution on some platforms.
+
+The profiler answers two questions the simulated-time telemetry cannot:
+
+* *where does wall-clock go?* — :class:`PhaseTimer` accumulates elapsed
+  seconds per named phase (``build_traces``, ``simulate``, ...);
+* *how fast is the engine?* — :class:`ThroughputGauge` folds completed
+  event counts over their elapsed time into an events/sec figure, the
+  baseline number future performance PRs regress against.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """A running :func:`time.perf_counter` stopwatch."""
+
+    __slots__ = ("started",)
+
+    def __init__(self) -> None:
+        self.started = time.perf_counter()
+
+    @property
+    def elapsed_s(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return time.perf_counter() - self.started
+
+    def restart(self) -> float:
+        """Reset the origin; returns the elapsed seconds before reset."""
+        now = time.perf_counter()
+        elapsed = now - self.started
+        self.started = now
+        return elapsed
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulated wall-clock per named phase."""
+
+    seconds: dict = field(default_factory=dict)
+    calls: dict = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager timing one execution of ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.add(name, elapsed)
+
+    def add(self, name: str, elapsed_s: float) -> None:
+        """Credit ``elapsed_s`` seconds to ``name``."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed_s
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds of one phase (0.0 if never entered)."""
+        return self.seconds.get(name, 0.0)
+
+    def reset(self) -> None:
+        self.seconds.clear()
+        self.calls.clear()
+
+    def snapshot(self) -> dict:
+        """Per-phase ``{seconds, calls}`` (JSON-serialisable)."""
+        return {name: {"seconds": self.seconds[name],
+                       "calls": self.calls[name]}
+                for name in sorted(self.seconds)}
+
+    def render(self) -> str:
+        """Human-readable phase table, slowest first."""
+        if not self.seconds:
+            return "(no phases recorded)"
+        width = max(len(name) for name in self.seconds)
+        lines = []
+        for name in sorted(self.seconds, key=self.seconds.get,
+                           reverse=True):
+            lines.append(f"{name.ljust(width)}  {self.seconds[name]:9.3f}s"
+                         f"  x{self.calls[name]}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ThroughputGauge:
+    """Events/sec across one or more measured intervals."""
+
+    events: int = 0
+    seconds: float = 0.0
+    intervals: int = 0
+
+    def record(self, events: int, seconds: float) -> None:
+        """Fold one measured interval into the gauge."""
+        self.events += events
+        self.seconds += seconds
+        self.intervals += 1
+
+    @property
+    def events_per_sec(self) -> float:
+        """Aggregate throughput (0.0 before any interval)."""
+        return self.events / self.seconds if self.seconds > 0 else 0.0
+
+    def reset(self) -> None:
+        self.events = 0
+        self.seconds = 0.0
+        self.intervals = 0
+
+    def snapshot(self) -> dict:
+        return {"events": self.events, "seconds": self.seconds,
+                "events_per_sec": self.events_per_sec}
+
+
+@dataclass
+class Profiler:
+    """Phase timers plus the engine-loop throughput gauge."""
+
+    phases: PhaseTimer = field(default_factory=PhaseTimer)
+    throughput: ThroughputGauge = field(default_factory=ThroughputGauge)
+
+    def phase(self, name: str):
+        """Context manager timing one execution of ``name``."""
+        return self.phases.phase(name)
+
+    def reset(self) -> None:
+        self.phases.reset()
+        self.throughput.reset()
+
+    def snapshot(self) -> dict:
+        return {"phases": self.phases.snapshot(),
+                "throughput": self.throughput.snapshot()}
+
+    def render(self) -> str:
+        """Phase table plus the throughput line."""
+        lines = [self.phases.render()]
+        if self.throughput.intervals:
+            lines.append(f"engine throughput: "
+                         f"{self.throughput.events_per_sec:,.0f} events/s "
+                         f"({self.throughput.events:,} events / "
+                         f"{self.throughput.seconds:.3f}s)")
+        return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Ambient telemetry: a process-wide active :class:`~repro.obs.Telemetry`.
+
+Experiment runners are invoked through a registry with a fixed
+``run(quick=..., seed=...)`` signature, so telemetry cannot be threaded
+through every call chain without breaking 20+ entry points.  Instead the
+CLI (or a test/benchmark harness) *activates* a telemetry object here and
+:func:`~repro.sim.runner.run_simulation` picks it up when no explicit one
+is passed.
+
+The default is ``None`` — with nothing activated, every instrumented
+site reduces to a single ``is None`` check, which keeps the disabled-path
+overhead unmeasurable.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_active = None
+
+
+def activate(telemetry) -> None:
+    """Make ``telemetry`` the ambient instance (``None`` to clear)."""
+    global _active
+    _active = telemetry
+
+
+def active():
+    """The ambient telemetry instance, or ``None``."""
+    return _active
+
+
+def deactivate() -> None:
+    """Clear the ambient telemetry."""
+    activate(None)
+
+
+@contextmanager
+def activated(telemetry):
+    """Scope ``telemetry`` as ambient for a ``with`` block."""
+    previous = _active
+    activate(telemetry)
+    try:
+        yield telemetry
+    finally:
+        activate(previous)

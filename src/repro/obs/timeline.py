@@ -1,0 +1,195 @@
+"""Time-series sampling driven by simulated time.
+
+The sampler piggybacks on the REF cadence (the simulator's only periodic
+heartbeat, see :class:`~repro.dram.refresh.RefreshScheduler`): every
+``sample_every_refi`` REF commands it snapshots one sub-channel's
+counters, differences them against the previous tick, and records a
+:class:`TimelineSample` — activations per window, DRFM issue counts and
+achieved RLP, RMAQ hits/skips, row-hit rate, open-bank occupancy and
+event-queue depth.
+
+Sampling is read-only: it never touches policy RNG streams or bank
+timing, so enabling it cannot perturb simulated behaviour.  Because it
+runs once per N tREFI (not per request) its wall-clock cost is noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Default sampling period in tREFI units.
+DEFAULT_SAMPLE_EVERY_REFI = 8
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One sampler tick for one sub-channel (interval deltas)."""
+
+    subchannel: int
+    tick: int
+    time_ps: int
+    ref_index: int
+    activations: int
+    row_hits: int
+    row_conflicts: int
+    row_hit_rate: float
+    samples: int
+    mitigation_commands: int
+    mitigated_rows: int
+    rlp: float
+    selections: int
+    rmaq_hits: int
+    rmaq_skips: int
+    open_banks: int
+    valid_dars: int
+    queue_depth: int
+
+    def to_record(self) -> dict:
+        """Journal payload for this sample."""
+        return {
+            "sc": self.subchannel,
+            "tick": self.tick,
+            "t_ps": self.time_ps,
+            "ref": self.ref_index,
+            "acts": self.activations,
+            "hits": self.row_hits,
+            "conflicts": self.row_conflicts,
+            "hit_rate": round(self.row_hit_rate, 4),
+            "samples": self.samples,
+            "drfm": self.mitigation_commands,
+            "rows_mitigated": self.mitigated_rows,
+            "rlp": round(self.rlp, 3),
+            "selections": self.selections,
+            "rmaq_hits": self.rmaq_hits,
+            "rmaq_skips": self.rmaq_skips,
+            "open_banks": self.open_banks,
+            "valid_dars": self.valid_dars,
+            "queue_depth": self.queue_depth,
+        }
+
+
+class _Cursor:
+    """Previous cumulative counters for one attached sub-channel."""
+
+    __slots__ = ("controller", "policy", "previous", "ticks")
+
+    def __init__(self, controller, policy) -> None:
+        self.controller = controller
+        self.policy = policy
+        self.previous = self.cumulative()
+        self.ticks = 0
+
+    def cumulative(self) -> dict:
+        subchannel = self.controller.subchannel
+        banks = subchannel.banks
+        totals = {
+            "activations": sum(b.stats.activations for b in banks),
+            "row_hits": sum(b.stats.row_hits for b in banks),
+            "row_conflicts": sum(b.stats.row_conflicts for b in banks),
+            "samples": sum(b.stats.samples for b in banks),
+            "mitigation_commands": subchannel.stats.mitigation_commands,
+            "mitigated_rows": subchannel.stats.mitigated_rows,
+            "selections": 0,
+            "rmaq_hits": 0,
+            "rmaq_skips": 0,
+        }
+        policy = self.policy
+        if policy is not None:
+            totals["selections"] = policy.stats.selections
+            totals["rmaq_skips"] = policy.stats.samples_skipped_rate_limit
+            totals["rmaq_hits"] = _rmaq_hits(policy)
+        return totals
+
+
+def _rmaq_hits(policy) -> int:
+    """Total RMAQ hits of a policy (per-bank list or single queue)."""
+    rmaq = getattr(policy, "rmaq", None)
+    if rmaq is None:
+        return 0
+    if isinstance(rmaq, list):
+        return sum(queue.hits for queue in rmaq)
+    return rmaq.hits
+
+
+@dataclass
+class TimelineSampler:
+    """Collects :class:`TimelineSample` ticks across sub-channels.
+
+    ``attach`` registers the sampler on one sub-channel controller's
+    refresh scheduler; the runner supplies ``queue_depth`` so ticks can
+    record how much work is pending in the event queue.
+    """
+
+    sample_every_refi: int = DEFAULT_SAMPLE_EVERY_REFI
+    journal: object | None = None
+    samples: list[TimelineSample] = field(default_factory=list)
+    queue_depth: Callable[[], int] | None = None
+    _cursors: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.sample_every_refi < 1:
+            raise ValueError("sample_every_refi must be positive")
+
+    def attach(self, controller, policy=None) -> None:
+        """Start sampling one sub-channel controller."""
+        index = controller.subchannel.index
+        cursor = _Cursor(controller, policy)
+        self._cursors[index] = cursor
+        controller.refresh.on_ref(
+            lambda ref_index, time_ps, _index=index:
+            self._on_ref(_index, ref_index, time_ps))
+
+    def _on_ref(self, subchannel: int, ref_index: int,
+                time_ps: int) -> None:
+        if (ref_index + 1) % self.sample_every_refi:
+            return
+        self.tick(subchannel, ref_index, time_ps)
+
+    def tick(self, subchannel: int, ref_index: int, time_ps: int) -> \
+            TimelineSample:
+        """Take one sample of ``subchannel`` now (also used by tests)."""
+        cursor = self._cursors[subchannel]
+        now = cursor.cumulative()
+        delta = {key: now[key] - cursor.previous[key] for key in now}
+        cursor.previous = now
+        banks = cursor.controller.subchannel.banks
+        accesses = delta["activations"] + delta["row_hits"]
+        commands = delta["mitigation_commands"]
+        sample = TimelineSample(
+            subchannel=subchannel,
+            tick=cursor.ticks,
+            time_ps=time_ps,
+            ref_index=ref_index,
+            activations=delta["activations"],
+            row_hits=delta["row_hits"],
+            row_conflicts=delta["row_conflicts"],
+            row_hit_rate=(delta["row_hits"] / accesses if accesses
+                          else 0.0),
+            samples=delta["samples"],
+            mitigation_commands=commands,
+            mitigated_rows=delta["mitigated_rows"],
+            rlp=(delta["mitigated_rows"] / commands if commands else 0.0),
+            selections=delta["selections"],
+            rmaq_hits=delta["rmaq_hits"],
+            rmaq_skips=delta["rmaq_skips"],
+            open_banks=sum(1 for bank in banks
+                           if bank.open_row is not None),
+            valid_dars=cursor.controller.subchannel.valid_dar_count(),
+            queue_depth=self.queue_depth() if self.queue_depth is not None
+            else 0,
+        )
+        cursor.ticks += 1
+        self.samples.append(sample)
+        if self.journal is not None:
+            self.journal.write("sample", **sample.to_record())
+        return sample
+
+    def for_subchannel(self, subchannel: int) -> list[TimelineSample]:
+        """Samples of one sub-channel in tick order."""
+        return [sample for sample in self.samples
+                if sample.subchannel == subchannel]
+
+    def detach_all(self) -> None:
+        """Forget attached controllers (samples are retained)."""
+        self._cursors.clear()

@@ -9,7 +9,8 @@ and realised RLP.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 
 from repro.cpu.metrics import normalized_performance, slowdown_percent
 
@@ -60,6 +61,23 @@ class RunResult:
                 f"bw={self.bus_utilization * 100:.1f}%, "
                 f"mitigations={self.mitigation_commands}, "
                 f"rlp={self.average_rlp:.2f}")
+
+    def to_dict(self) -> dict:
+        """All fields plus derived rates as a plain dict.
+
+        Contains only simulated-time quantities — no wall-clock — so two
+        runs of the same seed compare byte-identical through
+        :meth:`to_json` regardless of host speed or telemetry settings.
+        """
+        data = asdict(self)
+        data["row_hit_rate"] = self.row_hit_rate
+        data["bus_utilization"] = self.bus_utilization
+        data["act_rate_per_ns"] = self.act_rate_per_ns
+        return data
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering (sorted keys, stable formatting)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
 
 
 @dataclass

@@ -9,9 +9,12 @@ arrival-ordered, per-bank-FIFO scheduling this model uses.
 
 from __future__ import annotations
 
+import time
+
 from repro.cpu.core import Core
 from repro.mc.controller import MemoryController
 from repro.mc.policy import PolicyFactory
+from repro.obs import runtime as obs_runtime
 from repro.sim.config import SimConfig, SystemConfig
 from repro.sim.engine import EventQueue
 from repro.sim.results import ComparisonResult, RunResult
@@ -21,7 +24,8 @@ from repro.workloads.trace import MemoryTrace
 def run_simulation(system: SystemConfig, traces: list[MemoryTrace],
                    sim: SimConfig,
                    policy_factory: PolicyFactory | None = None,
-                   policy_name: str = "none") -> RunResult:
+                   policy_name: str = "none",
+                   telemetry=None) -> RunResult:
     """Run one closed-loop simulation to completion.
 
     Parameters
@@ -37,13 +41,25 @@ def run_simulation(system: SystemConfig, traces: list[MemoryTrace],
         unprotected baseline).
     policy_name:
         Label recorded in the result.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`.  When ``None``, the
+        ambient instance (:mod:`repro.obs.runtime`) is used if one has
+        been activated; otherwise the run is entirely uninstrumented.
+        Telemetry only reads simulator state, so the returned
+        :class:`RunResult` is bit-identical with it on or off.
     """
     if len(traces) != system.num_cores:
         raise ValueError(
             f"expected {system.num_cores} traces, got {len(traces)}")
+    if telemetry is None:
+        telemetry = obs_runtime.active()
+    workload = traces[0].name if traces else "empty"
+    if telemetry is not None:
+        telemetry.begin_run(workload, policy_name, sim.seed)
     mc = MemoryController(system.organization, system.timing,
                           policy_factory, seed=sim.seed,
-                          page_policy=system.page_policy)
+                          page_policy=system.page_policy,
+                          telemetry=telemetry)
     cores = [Core(i, traces[i], sim.requests_per_core, system.mlp_per_core)
              for i in range(system.num_cores)]
     queue = EventQueue()
@@ -54,6 +70,9 @@ def run_simulation(system: SystemConfig, traces: list[MemoryTrace],
                 break
             request, gap = fetched
             queue.push(gap, request)
+    if telemetry is not None:
+        telemetry.timeline.queue_depth = lambda: len(queue)
+        loop_started = time.perf_counter()
     completed = 0
     end_time = 0
     while queue:
@@ -71,8 +90,7 @@ def run_simulation(system: SystemConfig, traces: list[MemoryTrace],
             queue.push(finish + gap, next_request)
     finish_times = [core.finish_time_ps if core.finish_time_ps is not None
                     else end_time for core in cores]
-    workload = traces[0].name if traces else "empty"
-    return RunResult(
+    result = RunResult(
         workload=workload,
         policy=policy_name,
         finish_times_ps=finish_times,
@@ -88,6 +106,11 @@ def run_simulation(system: SystemConfig, traces: list[MemoryTrace],
         subchannels=system.organization.subchannels,
         policy_summaries=mc.policy_summaries(),
     )
+    if telemetry is not None:
+        telemetry.end_run(result, events=completed,
+                          seconds=time.perf_counter() - loop_started)
+        telemetry.timeline.queue_depth = None
+    return result
 
 
 def run_comparison(system: SystemConfig, traces: list[MemoryTrace],

@@ -130,7 +130,7 @@ class AbacusPolicy(MitigationPolicy):
                 ready = max(ready, self.port.explicit_sample(
                     demand.bank, demand.row, now_ps))
             event = self.port.issue(Command.DRFM_AB, bank, ready)
-            self.stats.record_event(event)
+            self.record_event(event)
         return False
 
     def summary(self) -> dict[str, float]:

@@ -166,7 +166,7 @@ class GraphenePolicy(MitigationPolicy):
             ready = self.port.explicit_sample(demand.bank, demand.row,
                                               now_ps)
             event = self.port.issue(self.command, demand.bank, ready)
-        self.stats.record_event(event)
+        self.record_event(event)
 
     def storage_bits_per_bank(self) -> int:
         """Scaled-system storage of one per-bank table."""

@@ -82,7 +82,7 @@ class InDramMintPolicy(MitigationPolicy):
                 self.stats.selections += 1
                 event = self.port.issue(Command.NRR, bank, now_ps,
                                         row=selected)
-                self.stats.record_event(event)
+                self.record_event(event)
         self._counts[bank] += 1
         if self._rng.random() < 1.0 / self._counts[bank]:
             self._selected[bank] = row

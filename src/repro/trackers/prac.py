@@ -96,7 +96,7 @@ class MoatPolicy(MitigationPolicy):
             # port's blocking primitive (NRR row is the alerted row for
             # bookkeeping; the DRAM mitigates internally).
             event = self.port.issue(Command.NRR, bank, now_ps, row=row)
-            self.stats.record_event(event)
+            self.record_event(event)
             self._stall_subchannel(now_ps)
         return False
 

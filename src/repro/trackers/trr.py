@@ -97,7 +97,7 @@ class TRRPolicy(MitigationPolicy):
                 # performance sweeps.
                 event = self.port.issue(Command.NRR, bank, now_ps,
                                         row=target)
-                self.stats.record_event(event)
+                self.record_event(event)
         self.samplers[bank].observe(row)
         return False
 

@@ -79,3 +79,95 @@ class TestCommands:
         assert main(["plan", "250", "--budget", "2"]) == 0
         out = capsys.readouterr().out
         assert "dream-c" in out
+
+
+class TestTelemetryFlags:
+    def test_defaults_off(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.journal is None
+        assert args.metrics_out is None
+        assert not args.profile
+        assert args.sample_every is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "fig9", "--journal", "j.jsonl", "--metrics-out",
+             "m.json", "--profile", "--sample-every", "4"])
+        assert args.journal == "j.jsonl"
+        assert args.metrics_out == "m.json"
+        assert args.profile
+        assert args.sample_every == 4
+
+    def test_report_accepts_flags_too(self):
+        args = build_parser().parse_args(
+            ["report", "--profile", "table1"])
+        assert args.profile
+
+    def test_metrics_out_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "metrics.json"
+        assert main(["run", "table1", "--metrics-out",
+                     str(target)]) == 0
+        snapshot = json.loads(target.read_text())
+        assert snapshot["schema_version"] == 1
+        assert "metrics" in snapshot and "profiling" in snapshot
+
+    def test_profile_prints_phase_table(self, capsys):
+        assert main(["run", "table1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "wall-clock profile" in out
+
+
+class TestStats:
+    @pytest.fixture
+    def journal_path(self, tmp_path):
+        from repro.obs.journal import RunJournal
+
+        path = str(tmp_path / "run.jsonl")
+        with RunJournal(path) as journal:
+            journal.write("run_start", run=0, workload="mcf",
+                          policy="mint", seed=7)
+            for tick in range(3):
+                journal.write("sample", sc=0, tick=tick, acts=100 + tick)
+            journal.write("mitigation", sc=0, cmd="DRFMsb", rlp=7)
+            journal.write("mitigation", sc=0, cmd="DRFMsb", rlp=8)
+            journal.write("mitigation", sc=0, cmd="NRR", rlp=1)
+            journal.write("summary", run=0, workload="mcf",
+                          policy="mint", end_time_ps=123, requests=3000,
+                          row_hit_rate=0.61, mitigations=3, rlp=5.33)
+            journal.write("profile",
+                          phases={"simulate": {"seconds": 1.5,
+                                               "calls": 2}},
+                          throughput={"events": 3000, "seconds": 0.5,
+                                      "events_per_sec": 6000.0})
+        return path
+
+    def test_renders_counts_and_sections(self, journal_path, capsys):
+        assert main(["stats", journal_path]) == 0
+        out = capsys.readouterr().out
+        assert "mitigation=3" in out and "sample=3" in out
+        assert "mcf/mint" in out
+        assert "DRFMsb" in out and "avg rlp=7.50" in out
+        assert "activations per sample tick" in out
+        assert "simulate" in out
+        assert "6,000 events/s" in out
+
+    def test_empty_journal_fails(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["stats", str(path)]) == 1
+        assert "empty journal" in capsys.readouterr().out
+
+    def test_max_runs_caps_listing(self, tmp_path, capsys):
+        from repro.obs.journal import RunJournal
+
+        path = str(tmp_path / "many.jsonl")
+        with RunJournal(path) as journal:
+            for run in range(5):
+                journal.write("summary", run=run, workload="w",
+                              policy="p", end_time_ps=1, requests=1,
+                              row_hit_rate=0.5, mitigations=0, rlp=0)
+        assert main(["stats", path, "--max-runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "(+3 more runs" in out

@@ -1,0 +1,98 @@
+"""Unit tests for the JSONL run journal (file and in-memory modes)."""
+
+import enum
+import json
+
+import pytest
+
+from repro.obs.journal import (RunJournal, SCHEMA_VERSION, load_journal,
+                               read_journal)
+
+
+class TestInMemoryMode:
+    def test_records_accumulate(self):
+        journal = RunJournal()
+        journal.write("run_start", workload="mcf", seed=7)
+        journal.write("summary", requests=100)
+        assert journal.written == 2
+        assert journal.records[0]["kind"] == "run_start"
+        assert journal.records[1]["requests"] == 100
+
+    def test_every_record_is_versioned(self):
+        journal = RunJournal()
+        record = journal.write("sample", sc=0)
+        assert record["v"] == SCHEMA_VERSION
+
+    def test_kinds_counts(self):
+        journal = RunJournal()
+        journal.write("sample")
+        journal.write("sample")
+        journal.write("summary")
+        assert journal.kinds() == {"sample": 2, "summary": 1}
+
+    def test_close_is_noop(self):
+        journal = RunJournal()
+        journal.close()
+        journal.write("sample")
+        assert journal.written == 1
+
+
+class TestFileMode:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunJournal(path) as journal:
+            journal.write("run_start", workload="mcf", policy="mint",
+                          seed=7)
+            journal.write("sample", sc=0, tick=0, acts=42)
+            journal.write("summary", requests=3000, rlp=7.5)
+        records = load_journal(path)
+        assert [r["kind"] for r in records] == ["run_start", "sample",
+                                                "summary"]
+        assert all(r["v"] == SCHEMA_VERSION for r in records)
+        assert records[1]["acts"] == 42
+        assert records[2]["rlp"] == 7.5
+
+    def test_file_mode_keeps_nothing_in_memory(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunJournal(path) as journal:
+            journal.write("sample", sc=0)
+        assert journal.records == []
+        assert journal.written == 1
+
+    def test_enum_payloads_serialise_by_value(self, tmp_path):
+        class Cmd(enum.Enum):
+            DRFM_SB = "DRFMsb"
+
+        path = str(tmp_path / "run.jsonl")
+        with RunJournal(path) as journal:
+            journal.write("mitigation", cmd=Cmd.DRFM_SB)
+        assert load_journal(path)[0]["cmd"] == "DRFMsb"
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunJournal(path) as journal:
+            journal.write("a")
+            journal.write("b")
+        lines = (tmp_path / "run.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+
+
+class TestReadValidation:
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"v": 1, "kind": "a"}\n\n{"v": 1, "kind": "b"}\n')
+        assert [r["kind"] for r in read_journal(str(path))] == ["a", "b"]
+
+    def test_malformed_json_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"v": 1, "kind": "a"}\nnot json\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            load_journal(str(path))
+
+    def test_kindless_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"v": 1}\n')
+        with pytest.raises(ValueError, match="kind"):
+            load_journal(str(path))

@@ -1,0 +1,80 @@
+"""Unit tests for the wall-clock profiling helpers."""
+
+import pytest
+
+from repro.obs.profiling import (PhaseTimer, Profiler, Stopwatch,
+                                 ThroughputGauge)
+
+
+class TestStopwatch:
+    def test_elapsed_is_monotonic_nonnegative(self):
+        watch = Stopwatch()
+        first = watch.elapsed_s
+        second = watch.elapsed_s
+        assert 0 <= first <= second
+
+    def test_restart_rezeroes(self):
+        watch = Stopwatch()
+        _ = watch.elapsed_s
+        watch.restart()
+        assert watch.elapsed_s < 1.0
+
+
+class TestPhaseTimer:
+    def test_phase_accumulates_time_and_calls(self):
+        timer = PhaseTimer()
+        for _ in range(3):
+            with timer.phase("build"):
+                pass
+        snap = timer.snapshot()
+        assert snap["build"]["calls"] == 3
+        assert snap["build"]["seconds"] >= 0.0
+
+    def test_add_direct(self):
+        timer = PhaseTimer()
+        timer.add("run", 1.25)
+        timer.add("run", 0.75)
+        assert timer.total("run") == pytest.approx(2.0)
+        assert timer.total("never") == 0.0
+        assert timer.snapshot()["run"]["seconds"] == pytest.approx(2.0)
+
+    def test_render_orders_slowest_first(self):
+        timer = PhaseTimer()
+        timer.add("fast", 0.1)
+        timer.add("slow", 9.0)
+        rendered = timer.render()
+        assert rendered.index("slow") < rendered.index("fast")
+
+    def test_exception_inside_phase_still_counted(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("boom"):
+                raise RuntimeError("x")
+        assert timer.snapshot()["boom"]["calls"] == 1
+
+
+class TestThroughputGauge:
+    def test_events_per_sec(self):
+        gauge = ThroughputGauge()
+        gauge.record(1000, 2.0)
+        gauge.record(1000, 2.0)
+        assert gauge.events == 2000
+        assert gauge.events_per_sec == pytest.approx(500.0)
+
+    def test_zero_time_is_safe(self):
+        gauge = ThroughputGauge()
+        gauge.record(10, 0.0)
+        assert gauge.events_per_sec == 0.0
+
+
+class TestProfiler:
+    def test_phase_and_snapshot(self):
+        profiler = Profiler()
+        with profiler.phase("sweep"):
+            pass
+        profiler.throughput.record(100, 0.5)
+        snap = profiler.snapshot()
+        assert "sweep" in snap["phases"]
+        assert snap["throughput"]["events"] == 100
+        assert "events/s" in profiler.render() or "sweep" in \
+            profiler.render()

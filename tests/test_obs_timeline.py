@@ -1,0 +1,170 @@
+"""Unit tests for the timeline sampler (cadence, deltas, attachment)."""
+
+import pytest
+
+from repro.obs.journal import RunJournal
+from repro.obs.timeline import (DEFAULT_SAMPLE_EVERY_REFI, TimelineSampler,
+                                TimelineSample)
+
+
+class _BankStats:
+    def __init__(self):
+        self.activations = 0
+        self.row_hits = 0
+        self.row_conflicts = 0
+        self.samples = 0
+
+
+class _Bank:
+    def __init__(self):
+        self.stats = _BankStats()
+        self.open_row = None
+
+
+class _SubChannelStats:
+    def __init__(self):
+        self.mitigation_commands = 0
+        self.mitigated_rows = 0
+
+
+class _FakeSubChannel:
+    def __init__(self, index=0, banks=4):
+        self.index = index
+        self.banks = [_Bank() for _ in range(banks)]
+        self.stats = _SubChannelStats()
+        self.dars = 0
+
+    def valid_dar_count(self):
+        return self.dars
+
+
+class _FakeRefresh:
+    def __init__(self):
+        self.callbacks = []
+
+    def on_ref(self, callback):
+        self.callbacks.append(callback)
+
+    def fire(self, ref_index, time_ps):
+        for callback in self.callbacks:
+            callback(ref_index, time_ps)
+
+
+class _FakeController:
+    def __init__(self, index=0):
+        self.subchannel = _FakeSubChannel(index)
+        self.refresh = _FakeRefresh()
+
+
+class TestCadence:
+    def test_samples_every_nth_ref(self):
+        sampler = TimelineSampler(sample_every_refi=4)
+        controller = _FakeController()
+        sampler.attach(controller)
+        for ref_index in range(16):
+            controller.refresh.fire(ref_index, time_ps=ref_index * 1000)
+        # (ref_index + 1) % 4 == 0  ->  refs 3, 7, 11, 15.
+        assert [s.ref_index for s in sampler.samples] == [3, 7, 11, 15]
+        assert [s.tick for s in sampler.samples] == [0, 1, 2, 3]
+
+    def test_default_period(self):
+        assert TimelineSampler().sample_every_refi == \
+            DEFAULT_SAMPLE_EVERY_REFI
+
+    def test_period_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimelineSampler(sample_every_refi=0)
+
+
+class TestDeltas:
+    def test_interval_deltas_not_cumulative(self):
+        sampler = TimelineSampler(sample_every_refi=1)
+        controller = _FakeController()
+        sampler.attach(controller)
+        bank = controller.subchannel.banks[0]
+
+        bank.stats.activations = 10
+        bank.stats.row_hits = 30
+        controller.refresh.fire(0, 100)
+        bank.stats.activations = 15
+        bank.stats.row_hits = 45
+        controller.refresh.fire(1, 200)
+
+        first, second = sampler.samples
+        assert first.activations == 10 and first.row_hits == 30
+        assert second.activations == 5 and second.row_hits == 15
+        assert second.row_hit_rate == pytest.approx(15 / 20)
+
+    def test_rlp_is_rows_per_command_in_interval(self):
+        sampler = TimelineSampler(sample_every_refi=1)
+        controller = _FakeController()
+        sampler.attach(controller)
+        controller.subchannel.stats.mitigation_commands = 4
+        controller.subchannel.stats.mitigated_rows = 30
+        controller.refresh.fire(0, 100)
+        sample = sampler.samples[0]
+        assert sample.mitigation_commands == 4
+        assert sample.rlp == pytest.approx(7.5)
+
+    def test_zero_activity_interval_is_safe(self):
+        sampler = TimelineSampler(sample_every_refi=1)
+        controller = _FakeController()
+        sampler.attach(controller)
+        controller.refresh.fire(0, 100)
+        sample = sampler.samples[0]
+        assert sample.row_hit_rate == 0.0
+        assert sample.rlp == 0.0
+
+    def test_open_banks_and_queue_depth_snapshotted(self):
+        sampler = TimelineSampler(sample_every_refi=1)
+        controller = _FakeController()
+        sampler.attach(controller)
+        controller.subchannel.banks[0].open_row = 12
+        controller.subchannel.banks[2].open_row = 7
+        sampler.queue_depth = lambda: 42
+        controller.refresh.fire(0, 100)
+        sample = sampler.samples[0]
+        assert sample.open_banks == 2
+        assert sample.queue_depth == 42
+
+
+class TestMultiSubchannel:
+    def test_samples_tagged_and_filterable(self):
+        sampler = TimelineSampler(sample_every_refi=1)
+        first = _FakeController(index=0)
+        second = _FakeController(index=1)
+        sampler.attach(first)
+        sampler.attach(second)
+        first.refresh.fire(0, 100)
+        second.refresh.fire(0, 100)
+        first.refresh.fire(1, 200)
+        assert len(sampler.for_subchannel(0)) == 2
+        assert len(sampler.for_subchannel(1)) == 1
+        assert all(s.subchannel == 1 for s in sampler.for_subchannel(1))
+
+
+class TestJournalEmission:
+    def test_each_tick_writes_a_sample_record(self):
+        journal = RunJournal()
+        sampler = TimelineSampler(sample_every_refi=1, journal=journal)
+        controller = _FakeController()
+        sampler.attach(controller)
+        controller.refresh.fire(0, 100)
+        controller.refresh.fire(1, 200)
+        assert journal.kinds() == {"sample": 2}
+        record = journal.records[0]
+        assert record["sc"] == 0 and record["t_ps"] == 100
+        assert set(record) >= {"acts", "hits", "drfm", "rlp",
+                               "open_banks", "queue_depth"}
+
+    def test_to_record_round_trips_sample_fields(self):
+        sample = TimelineSample(
+            subchannel=1, tick=3, time_ps=999, ref_index=7,
+            activations=10, row_hits=20, row_conflicts=1,
+            row_hit_rate=0.6667, samples=4, mitigation_commands=2,
+            mitigated_rows=15, rlp=7.5, selections=2, rmaq_hits=1,
+            rmaq_skips=0, open_banks=5, valid_dars=3, queue_depth=12)
+        record = sample.to_record()
+        assert record["sc"] == 1
+        assert record["rlp"] == 7.5
+        assert record["valid_dars"] == 3

@@ -72,6 +72,92 @@ class TestTracing:
         assert "ACT" in tracer.tail()
 
 
+class TestRingBuffer:
+    def test_oldest_entries_drop_first(self):
+        tracer = CommandTracer(capacity=3)
+        for row in range(5):
+            tracer.record(row * 10, Command.ACT, bank=0, row=row)
+        assert [issued.row for issued in tracer.commands] == [2, 3, 4]
+        assert tracer.dropped == 2
+
+    def test_dropped_counts_every_eviction(self):
+        tracer = CommandTracer(capacity=1)
+        for row in range(10):
+            tracer.record(row, Command.ACT, bank=0, row=row)
+        assert tracer.dropped == 9
+        assert len(tracer.commands) == 1
+
+    def test_shrinking_capacity_trims_on_next_record(self):
+        tracer = CommandTracer(capacity=10)
+        for row in range(10):
+            tracer.record(row, Command.ACT, bank=0, row=row)
+        tracer.capacity = 4
+        tracer.record(100, Command.ACT, bank=0, row=99)
+        assert len(tracer.commands) == 4
+        assert [issued.row for issued in tracer.commands] == \
+            [7, 8, 9, 99]
+
+    def test_tail_shows_most_recent_after_wrap(self):
+        tracer = CommandTracer(capacity=2)
+        for row in range(4):
+            tracer.record(row, Command.ACT, bank=0, row=row)
+        tail = tracer.tail(1)
+        assert ".r3" in tail
+        assert len(tail.splitlines()) == 1
+
+    def test_no_drops_below_capacity(self):
+        tracer = CommandTracer(capacity=100)
+        tracer.record(0, Command.ACT, bank=0, row=1)
+        assert tracer.dropped == 0
+        assert len(tracer.commands) == 1
+
+
+class TestTruncatedWindowChecker:
+    def test_leading_pre_after_drop_is_not_a_violation(self):
+        tracer = CommandTracer(capacity=2)
+        tracer.record(0, Command.ACT, bank=0, row=1)   # dropped
+        tracer.record(10, Command.PRE, bank=0)          # window starts
+        tracer.record(20, Command.ACT, bank=0, row=2)
+        assert tracer.dropped == 1
+        assert verify_protocol(tracer) == []
+
+    def test_violations_after_first_sighting_still_caught(self):
+        tracer = CommandTracer(capacity=3)
+        tracer.record(0, Command.PRE, bank=9)            # dropped
+        tracer.record(10, Command.ACT, bank=0, row=1)   # establishes state
+        tracer.record(20, Command.ACT, bank=0, row=2)   # real double-ACT
+        tracer.record(30, Command.PRE, bank=0)
+        assert tracer.dropped == 1
+        violations = verify_protocol(tracer)
+        assert len(violations) == 1
+        assert "ACT while row" in violations[0].reason
+
+    def test_ref_resynchronizes_truncated_window(self):
+        tracer = CommandTracer(capacity=3)
+        tracer.record(0, Command.ACT, bank=5, row=3)    # dropped
+        tracer.record(10, Command.REF, bank=None)
+        tracer.record(20, Command.PRE, bank=0)          # after REF: orphan
+        tracer.record(30, Command.ACT, bank=0, row=1)
+        assert tracer.dropped == 1
+        violations = verify_protocol(tracer)
+        assert violations and "no open row" in violations[0].reason
+
+    def test_untruncated_trace_keeps_strict_checking(self):
+        tracer = CommandTracer()
+        tracer.record(0, Command.PRE, bank=0)
+        assert tracer.dropped == 0
+        assert verify_protocol(tracer) != []
+
+    def test_wrapped_full_run_still_verifies(self, timing, organization):
+        controller, tracer = traced_controller(timing, organization)
+        tracer.capacity = 64
+        finish = 0
+        for i in range(500):
+            finish = controller.service(i % 8, (i * 7) % 64, finish)
+        assert tracer.dropped > 0
+        assert verify_protocol(tracer) == []
+
+
 class TestProtocolChecker:
     def test_clean_simulation_has_no_violations(self, timing,
                                                 organization, context):
