@@ -16,6 +16,15 @@ Subcommands:
 ``--profile`` (wall-clock phase table) and ``--sample-every N``
 (timeline cadence in tREFI).  Telemetry is off unless one of these is
 given, and enabling it does not change any simulated result.
+
+They also accept the sweep-execution flags ``--jobs N`` (fan simulation
+cells over N worker processes; ``0`` = all cores), ``--cache-dir DIR``
+(content-addressed run cache: warm re-runs skip simulation entirely),
+``--no-cache`` (ignore ``--cache-dir`` for one invocation) and
+``--requests N`` (per-core request-budget override for smoke runs).
+Results are byte-identical across serial, parallel and cached
+executions; telemetry forces the serial uncached path (a warning is
+printed), see ``docs/parallel.md``.
 """
 
 from __future__ import annotations
@@ -25,6 +34,9 @@ import sys
 
 from repro.core.security import revised_parameters
 from repro.core.storage import compare_storage
+from repro.exec import runtime as exec_runtime
+from repro.exec.cache import RunCache
+from repro.exec.executor import SweepExecutor
 from repro.experiments import registry
 from repro.obs import runtime as obs_runtime
 from repro.obs.profiling import Stopwatch
@@ -65,27 +77,66 @@ def _emit_telemetry(args: argparse.Namespace, telemetry) -> None:
         print(telemetry.profiler.render())
 
 
+def _build_executor(args: argparse.Namespace,
+                    telemetry) -> SweepExecutor | None:
+    """Construct a SweepExecutor from CLI flags, or ``None`` if all off.
+
+    Telemetry wins over parallelism/caching (counting events across
+    worker processes or past a cache hit would under-report): when both
+    are requested the executor flags are dropped with a loud warning.
+    """
+    jobs = args.jobs if args.jobs is not None else 1
+    if jobs == 0:
+        import os
+
+        jobs = os.cpu_count() or 1
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        cache = RunCache(args.cache_dir)
+    if telemetry is not None and (jobs > 1 or cache is not None):
+        print("[repro.exec] telemetry flags given: ignoring --jobs/"
+              "--cache-dir and running serial, uncached "
+              "(see docs/parallel.md)", file=sys.stderr)
+        return None
+    if jobs == 1 and cache is None and args.jobs is None:
+        return None
+    return SweepExecutor(jobs=jobs, cache=cache)
+
+
+def _emit_executor(executor: SweepExecutor | None) -> None:
+    if executor is not None:
+        print(f"[repro.exec] {executor.describe()}", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = args.experiments or registry.names()
     telemetry = _build_telemetry(args)
-    with obs_runtime.activated(telemetry):
-        for name in names:
-            runner = registry.get(name)
-            watch = Stopwatch()
-            result = runner(quick=not args.full, seed=args.seed)
-            if args.json:
-                print(result.to_json())
-            else:
-                print(result.render())
-                if args.chart:
-                    from repro.analysis.charts import chart_result
+    executor = _build_executor(args, telemetry)
+    with obs_runtime.activated(telemetry), \
+            exec_runtime.activated(executor):
+        try:
+            for name in names:
+                watch = Stopwatch()
+                result = registry.run_experiment(
+                    name, quick=not args.full, seed=args.seed,
+                    requests_per_core=args.requests)
+                if args.json:
+                    print(result.to_json())
+                else:
+                    print(result.render())
+                    if args.chart:
+                        from repro.analysis.charts import chart_result
 
-                    chart = chart_result(result.rows)
-                    if chart:
-                        print()
-                        print(chart)
-                print(f"[{name} finished in {watch.elapsed_s:.1f}s]")
-                print()
+                        chart = chart_result(result.rows)
+                        if chart:
+                            print()
+                            print(chart)
+                    print(f"[{name} finished in {watch.elapsed_s:.1f}s]")
+                    print()
+        finally:
+            if executor is not None:
+                executor.close()
+    _emit_executor(executor)
     _emit_telemetry(args, telemetry)
     return 0
 
@@ -93,19 +144,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     names = args.experiments or registry.names()
     telemetry = _build_telemetry(args)
+    executor = _build_executor(args, telemetry)
     sections = ["# DREAM reproduction report", ""]
-    with obs_runtime.activated(telemetry):
-        for name in names:
-            runner = registry.get(name)
-            watch = Stopwatch()
-            result = runner(quick=not args.full, seed=args.seed)
-            sections.append(f"## {name}: {result.title}")
-            sections.append("")
-            sections.append("```")
-            sections.append(result.render())
-            sections.append("```")
-            sections.append(f"_regenerated in {watch.elapsed_s:.1f}s_")
-            sections.append("")
+    with obs_runtime.activated(telemetry), \
+            exec_runtime.activated(executor):
+        try:
+            for name in names:
+                watch = Stopwatch()
+                result = registry.run_experiment(
+                    name, quick=not args.full, seed=args.seed,
+                    requests_per_core=args.requests)
+                sections.append(f"## {name}: {result.title}")
+                sections.append("")
+                sections.append("```")
+                sections.append(result.render())
+                sections.append("```")
+                sections.append(f"_regenerated in "
+                                f"{watch.elapsed_s:.1f}s_")
+                sections.append("")
+        finally:
+            if executor is not None:
+                executor.close()
     report = "\n".join(sections)
     if args.output:
         with open(args.output, "w") as handle:
@@ -113,6 +172,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"report written to {args.output}")
     else:
         print(report)
+    _emit_executor(executor)
     _emit_telemetry(args, telemetry)
     return 0
 
@@ -218,6 +278,21 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0 if plan.ok else 1
 
 
+def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, metavar="N",
+                        help="fan simulation cells over N worker "
+                             "processes (0 = all cores; default serial)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="content-addressed run cache directory "
+                             "(re-runs of identical cells are "
+                             "near-instant)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir for this invocation")
+    parser.add_argument("--requests", type=int, metavar="N",
+                        help="per-core request-budget override "
+                             "(smoke/CI runs)")
+
+
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--journal", metavar="FILE",
                         help="write a JSONL telemetry journal")
@@ -250,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="emit machine-readable JSON")
     run_parser.add_argument("--chart", action="store_true",
                             help="append a terminal bar chart")
+    _add_exec_flags(run_parser)
     _add_telemetry_flags(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
@@ -261,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--seed", type=int, default=2025)
     report_parser.add_argument("-o", "--output",
                                help="write the report to a file")
+    _add_exec_flags(report_parser)
     _add_telemetry_flags(report_parser)
     report_parser.set_defaults(func=_cmd_report)
 

@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.rmaq import RecentMitigationQueue
 from repro.core.storage import DreamCConfig, dream_c_config
 from repro.dram.commands import Command
+from repro.exec.spec import spec_factory
 from repro.mc.policy import MitigationPolicy, PolicyContext, PolicyFactory
 
 #: Sub-channel-level RMAQ entries for DREAM-C (Section 6.3: at most
@@ -220,6 +221,7 @@ class DreamCPolicy(MitigationPolicy):
         return data
 
 
+@spec_factory
 def dream_c_factory(t_rh: int, randomized: bool = True,
                     storage_multiplier: int = 1,
                     rate_limited: bool = False,

@@ -34,6 +34,7 @@ from repro.core.rmaq import RecentMitigationQueue, capacity_for_window
 from repro.core.security import (mint_window_with_atm,
                                  para_probability_with_atm)
 from repro.dram.commands import Command
+from repro.exec.spec import spec_factory
 from repro.mc.policy import (MitigationPolicy, PolicyContext, PolicyFactory)
 
 
@@ -217,6 +218,7 @@ class DreamRMintPolicy(MitigationPolicy):
         return data
 
 
+@spec_factory
 def dream_r_para_factory(t_rh: int,
                          atm_threshold: int = DEFAULT_ATM_THRESHOLD,
                          rmaq_capacity: int | None = None) -> PolicyFactory:
@@ -225,6 +227,7 @@ def dream_r_para_factory(t_rh: int,
         context, t_rh, atm_threshold, rmaq_capacity=rmaq_capacity)
 
 
+@spec_factory
 def dream_r_mint_factory(t_rh: int,
                          atm_threshold: int = DEFAULT_ATM_THRESHOLD,
                          rate_limited: bool = False) -> PolicyFactory:

@@ -20,9 +20,14 @@ from dataclasses import dataclass
 from repro.workloads.trace import MemoryTrace
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
-    """One in-flight memory request."""
+    """One in-flight memory request.
+
+    Allocated once per fetched request on the hottest path of the
+    engine loop; ``slots`` drops the per-instance ``__dict__`` (smaller
+    allocations, faster attribute reads in ``run_simulation``).
+    """
 
     core: int
     slot: int

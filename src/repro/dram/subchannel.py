@@ -24,7 +24,7 @@ from repro.dram.commands import Command, blocking_banks
 from repro.dram.timing import DDR5Timing
 
 
-@dataclass
+@dataclass(slots=True)
 class MitigationEvent:
     """Record of one executed mitigation command (for RLP accounting)."""
 

@@ -1,0 +1,145 @@
+"""Content-addressed on-disk cache of simulation results.
+
+One :class:`~repro.sim.results.RunResult` per entry, addressed by the
+cell fingerprint of :mod:`repro.exec.fingerprint`.  Layout::
+
+    <root>/<fp[:2]>/<fp>.json
+
+Each entry stores the schema version, its own fingerprint, the decoded
+cell key (purely for human debugging — ``get`` never trusts it) and the
+result's constructor fields.  Guarantees:
+
+* **Writes are atomic** (temp file + ``os.replace``), so a killed run
+  never leaves a half-written entry behind.
+* **Corruption never propagates**: any undecodable, wrong-schema or
+  wrong-shape entry is counted, deleted best-effort and reported as a
+  miss, so the cell is simply recomputed.
+* **Results round-trip exactly**: entries hold only JSON-exact values
+  (ints and floats), so a cached :meth:`RunResult.to_json` is
+  byte-identical to the freshly computed one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exec.fingerprint import CACHE_SCHEMA_VERSION
+from repro.sim.results import RunResult
+
+_RESULT_FIELDS = frozenset(
+    field.name for field in dataclasses.fields(RunResult))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`RunCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    def describe(self) -> str:
+        return (f"hits={self.hits} misses={self.misses} "
+                f"stores={self.stores} corrupt={self.corrupt}")
+
+
+class RunCache:
+    """Content-addressed store of :class:`RunResult` entries."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Entry path for ``fingerprint`` (two-level fan-out)."""
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> RunResult | None:
+        """The cached result, or ``None`` on miss/corruption."""
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError):
+            return self._discard_corrupt(path)
+        result = self._decode(entry, fingerprint)
+        if result is None:
+            return self._discard_corrupt(path)
+        self.stats.hits += 1
+        return result
+
+    def _decode(self, entry, fingerprint: str) -> RunResult | None:
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        if entry.get("fingerprint") != fingerprint:
+            return None
+        payload = entry.get("result")
+        if not isinstance(payload, dict) or \
+                set(payload) != _RESULT_FIELDS:
+            return None
+        try:
+            return RunResult(**payload)
+        except TypeError:
+            return None
+
+    def _discard_corrupt(self, path: Path) -> None:
+        """Count, delete (best-effort) and miss a corrupt entry."""
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+    # ------------------------------------------------------------------
+    # Store
+    # ------------------------------------------------------------------
+    def put(self, fingerprint: str, result: RunResult,
+            key: dict | None = None) -> None:
+        """Atomically persist ``result`` under ``fingerprint``.
+
+        ``key`` is the canonical cell-key document; it is stored verbatim
+        so a human can ``cat`` an entry and see what produced it.
+        """
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "key": key or {},
+            "result": dataclasses.asdict(result),
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=path.parent,
+            prefix=f".{fingerprint[:8]}.", suffix=".tmp", delete=False)
+        try:
+            with handle:
+                json.dump(entry, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def describe(self) -> str:
+        """One-line summary (root plus hit/miss counters)."""
+        return f"cache[{self.root}]: {self.stats.describe()}"

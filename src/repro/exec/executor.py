@@ -1,0 +1,294 @@
+"""Parallel sweep executor with memoised, cache-backed cells.
+
+A *cell* is one independent simulation: build the (deterministic,
+calibrated) traces for a workload, then run one policy configuration on
+them.  Experiments decompose into flat lists of cells —
+``sweep_designs`` submits ``(1 baseline + N designs) × workloads`` — and
+:class:`SweepExecutor` executes such lists with three layers of reuse:
+
+1. an **in-memory memo** spanning the executor's lifetime, so the shared
+   unprotected baseline of a (workload, system, sim) triple is computed
+   once per CLI invocation no matter how many experiments need it;
+2. an optional **content-addressed disk cache**
+   (:class:`~repro.exec.cache.RunCache`), making warm re-runs
+   near-instant across invocations;
+3. a **process pool** (``jobs > 1``) fanning the remaining cells out.
+
+Every cell is deterministic — traces and policies derive all randomness
+from the cell's own seeds — so execution order cannot change any result:
+serial, parallel and cached paths return byte-identical
+:class:`~repro.sim.results.RunResult` values, and the caller merges them
+back in its own fixed order.
+
+Cells whose policy is not a :class:`~repro.exec.spec.PolicySpec` (a bare
+closure) cannot cross a process boundary or be fingerprinted; they are
+executed inline in the parent and never cached — correct, just without
+the speedups.
+
+Telemetry (:mod:`repro.obs`) counts simulator events in-process and
+journals every run, which a worker pool would split across processes and
+a cache hit would elide entirely.  The executor therefore refuses to
+parallelise or cache while ambient telemetry is active: it falls back to
+plain inline execution and warns once on stderr (see
+``docs/parallel.md``).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exec.cache import RunCache
+from repro.exec.fingerprint import (FingerprintError, canonical,
+                                    fingerprint)
+from repro.exec.spec import PolicySpec
+from repro.obs import runtime as obs_runtime
+from repro.sim.config import SimConfig, SystemConfig
+from repro.sim.results import RunResult
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent simulation: workload × system × sim × policy.
+
+    ``trace_system`` is the system the traces are built (and calibrated)
+    for; ``run_system`` is the system the run executes on.  They differ
+    only for designs like PRAC that override hardware timings while
+    keeping the baseline's traces, which is how the paper pairs those
+    runs.
+    """
+
+    workload: WorkloadProfile
+    trace_system: SystemConfig
+    run_system: SystemConfig
+    sim: SimConfig
+    policy: PolicySpec | Callable | None
+    policy_name: str
+
+    def key(self) -> dict:
+        """The cell's identity as canonical-encodable parts."""
+        return {
+            "workload": self.workload,
+            "trace_system": self.trace_system,
+            "run_system": self.run_system,
+            "sim": self.sim,
+            "policy": self.policy,
+            "policy_name": self.policy_name,
+        }
+
+
+def cell_fingerprint(cell: Cell) -> str | None:
+    """Content fingerprint of ``cell``, or ``None`` if not spec-backed."""
+    if not (cell.policy is None or isinstance(cell.policy, PolicySpec)):
+        return None
+    try:
+        return fingerprint(**cell.key())
+    except FingerprintError:
+        return None
+
+
+def _worker_init() -> None:
+    """Worker bootstrap: never inherit ambient telemetry across a fork."""
+    obs_runtime.deactivate()
+
+
+def _execute_cell(cell: Cell) -> tuple[RunResult, float]:
+    """Run one cell to completion (worker- and parent-side entry point).
+
+    Returns the result plus the engine wall-seconds (excluding trace
+    building), which feed the executor's aggregate events/sec figure.
+    """
+    from repro.sim.runner import run_simulation
+    from repro.workloads.builder import build_traces
+
+    traces = build_traces(cell.workload, cell.trace_system, cell.sim)
+    started = time.perf_counter()
+    result = run_simulation(cell.run_system, traces, cell.sim,
+                            cell.policy, cell.policy_name)
+    return result, time.perf_counter() - started
+
+
+@dataclass
+class ExecutorStats:
+    """Work accounting across one executor's lifetime."""
+
+    cells: int = 0
+    computed: int = 0
+    inline: int = 0
+    memo_hits: int = 0
+    engine_events: int = 0
+    engine_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        """Aggregate engine throughput over all computed cells."""
+        if self.engine_seconds <= 0:
+            return 0.0
+        return self.engine_events / self.engine_seconds
+
+    def describe(self) -> str:
+        return (f"cells={self.cells} computed={self.computed} "
+                f"memo_hits={self.memo_hits} inline={self.inline} "
+                f"wall={self.wall_seconds:.1f}s "
+                f"engine={self.events_per_sec:,.0f} events/s")
+
+
+class SweepExecutor:
+    """Executes cell lists with memoisation, caching and a worker pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (default) runs every cell inline in the
+        parent, which is the reference execution mode.
+    cache:
+        Optional :class:`RunCache`; hits skip simulation entirely and
+        fresh results are persisted for future invocations.
+    """
+
+    def __init__(self, jobs: int = 1, cache: RunCache | None = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.stats = ExecutorStats()
+        self._memo: dict[str, RunResult] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        self._warned_telemetry = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _pool_handle(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs,
+                                             initializer=_worker_init)
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_cells(self, cells: list[Cell]) -> list[RunResult]:
+        """Execute ``cells`` and return results in submission order."""
+        started = time.perf_counter()
+        self.stats.cells += len(cells)
+        if obs_runtime.active() is not None:
+            results = self._run_instrumented(cells)
+        else:
+            results = self._run(cells)
+        self.stats.wall_seconds += time.perf_counter() - started
+        return results
+
+    def _run_instrumented(self, cells: list[Cell]) -> list[RunResult]:
+        """Telemetry fallback: inline, uncached, unmemoised execution."""
+        self.warn_telemetry_fallback()
+        results = []
+        for cell in cells:
+            result, seconds = _execute_cell(cell)
+            self._account_computed(result, seconds, inline=True)
+            results.append(result)
+        return results
+
+    def _run(self, cells: list[Cell]) -> list[RunResult]:
+        results: list[RunResult | None] = [None] * len(cells)
+        #: fingerprint -> indices still needing a computed result.
+        pending: dict[str, list[int]] = {}
+        inline: list[int] = []
+        for index, cell in enumerate(cells):
+            fp = cell_fingerprint(cell)
+            if fp is None:
+                inline.append(index)
+                continue
+            known = self._lookup(fp)
+            if known is not None:
+                results[index] = known
+            else:
+                pending.setdefault(fp, []).append(index)
+
+        futures: dict[str, Future] = {}
+        if self.jobs > 1 and len(pending) > 1:
+            pool = self._pool_handle()
+            futures = {fp: pool.submit(_execute_cell, cells[indices[0]])
+                       for fp, indices in pending.items()}
+
+        # Spec-less cells run while the pool churns in the background.
+        for index in inline:
+            result, seconds = _execute_cell(cells[index])
+            self._account_computed(result, seconds, inline=True)
+            results[index] = result
+
+        for fp, indices in pending.items():
+            if fp in futures:
+                result, seconds = futures[fp].result()
+            else:
+                result, seconds = _execute_cell(cells[indices[0]])
+            self._account_computed(result, seconds)
+            self._store(fp, cells[indices[0]], result)
+            for index in indices:
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Reuse layers
+    # ------------------------------------------------------------------
+    def _lookup(self, fp: str) -> RunResult | None:
+        known = self._memo.get(fp)
+        if known is not None:
+            self.stats.memo_hits += 1
+            return known
+        if self.cache is not None:
+            cached = self.cache.get(fp)
+            if cached is not None:
+                self._memo[fp] = cached
+                return cached
+        return None
+
+    def _store(self, fp: str, cell: Cell, result: RunResult) -> None:
+        self._memo[fp] = result
+        if self.cache is not None:
+            self.cache.put(fp, result, key=canonical(cell.key()))
+
+    def _account_computed(self, result: RunResult, seconds: float,
+                          inline: bool = False) -> None:
+        self.stats.computed += 1
+        if inline:
+            self.stats.inline += 1
+        self.stats.engine_events += result.requests_completed
+        self.stats.engine_seconds += seconds
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def warn_telemetry_fallback(self) -> None:
+        """Print the serial-telemetry warning once per executor."""
+        if self._warned_telemetry:
+            return
+        self._warned_telemetry = True
+        if self.jobs > 1 or self.cache is not None:
+            print("[repro.exec] telemetry is active: falling back to "
+                  "serial, uncached execution (see docs/parallel.md)",
+                  file=sys.stderr)
+
+    def describe(self) -> str:
+        """One-line executor + cache summary for end-of-run reporting."""
+        line = f"executor[jobs={self.jobs}]: {self.stats.describe()}"
+        if self.cache is not None:
+            line += f"; {self.cache.describe()}"
+        return line

@@ -1,0 +1,48 @@
+"""Ambient sweep executor: a process-wide active :class:`SweepExecutor`.
+
+Experiment runners are invoked through a registry with a fixed
+``run(quick=..., seed=...)`` signature, so an executor cannot be threaded
+through every call chain (the same constraint that shaped
+:mod:`repro.obs.runtime`).  The CLI (or a test/benchmark harness)
+*activates* an executor here and
+:func:`repro.experiments.common.sweep_designs` picks it up — which is
+what lets one executor's memo and cache span every experiment of an
+invocation.
+
+With nothing activated, ``sweep_designs`` falls back to a private
+serial executor per sweep, which preserves the historical
+baseline-sharing behaviour exactly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_active = None
+
+
+def activate(executor) -> None:
+    """Make ``executor`` the ambient instance (``None`` to clear)."""
+    global _active
+    _active = executor
+
+
+def active():
+    """The ambient executor, or ``None``."""
+    return _active
+
+
+def deactivate() -> None:
+    """Clear the ambient executor."""
+    activate(None)
+
+
+@contextmanager
+def activated(executor):
+    """Scope ``executor`` as ambient for a ``with`` block."""
+    previous = _active
+    activate(executor)
+    try:
+        yield executor
+    finally:
+        activate(previous)

@@ -27,6 +27,7 @@ from repro.core.storage import dream_c_config
 from repro.dram.commands import Command
 from repro.dram.disturbance import (DisturbanceConfig, DisturbanceModel,
                                     RefreshMode)
+from repro.exec.spec import spec_factory
 from repro.experiments.common import (DEFAULT_SEED, DesignSpec,
                                       ExperimentResult, default_sim_config,
                                       default_system, sweep_designs)
@@ -58,8 +59,7 @@ def run_atm(quick: bool = True, requests_per_core: int | None = None,
     # No ATM: absorb the delay by revising p instead (Appendix A).
     revised = para_probability_dream_r(t_rh)
     specs.append(DesignSpec(
-        "no-atm-revised-p",
-        lambda context: _revised_para(context, t_rh, revised)))
+        "no-atm-revised-p", revised_para_factory(t_rh, revised)))
     series = sweep_designs(specs, system, sim,
                            workloads=_ablation_profiles(), quick=quick)
     rows = [{"design": name,
@@ -82,6 +82,12 @@ def _revised_para(context, t_rh, probability):
                               probability=probability)
     policy.name = "no-atm-revised-p"
     return policy
+
+
+@spec_factory
+def revised_para_factory(t_rh: int, probability: float):
+    """Factory for the no-ATM, revised-probability DREAM-R variant."""
+    return lambda context: _revised_para(context, t_rh, probability)
 
 
 # ----------------------------------------------------------------------

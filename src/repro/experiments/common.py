@@ -6,18 +6,28 @@ request budget (suitable for the default benchmark run); full mode sweeps
 all 22 workloads.  ``REPRO_FULL=1`` in the environment switches the
 benchmark harness to full mode.
 
-The central helper, :func:`sweep_designs`, runs one unprotected baseline
-per workload and reuses it across every design — the runs are perfectly
-paired because traces are deterministic per (workload, system, seed).
+The central helper, :func:`sweep_designs`, decomposes a sweep into
+independent cells — one unprotected baseline plus one mitigated run per
+design, per workload — and submits them through a
+:class:`repro.exec.SweepExecutor`.  The baseline is shared across every
+design (the runs are perfectly paired because traces are deterministic
+per (workload, system, seed)); with an ambient executor activated
+(``repro.exec.runtime``), it is also shared across *experiments*, fanned
+over a worker pool, and served from the content-addressed run cache.
+Results are merged back in a fixed (workload × design) order, so serial,
+parallel and cached executions render byte-identical tables.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.analysis.slowdown import SlowdownSeries
+from repro.exec import runtime as exec_runtime
+from repro.exec.executor import Cell, SweepExecutor
 from repro.mc.policy import PolicyFactory
 from repro.obs import runtime as obs_runtime
 from repro.sim.config import SimConfig, SystemConfig
@@ -120,8 +130,6 @@ class ExperimentResult:
 
     def to_json(self) -> str:
         """JSON rendering (experiment, title, rows, references, notes)."""
-        import json
-
         return json.dumps({
             "experiment": self.experiment,
             "title": self.title,
@@ -147,14 +155,70 @@ def _phase(name: str):
     return telemetry.phase(name)
 
 
+def sweep_cells(designs: list[DesignSpec],
+                system: SystemConfig,
+                sim: SimConfig,
+                workloads: list[WorkloadProfile]) -> list[Cell]:
+    """The sweep's independent cells in canonical (workload × design)
+    order: for each workload, the shared baseline first, then one cell
+    per design."""
+    cells: list[Cell] = []
+    for workload in workloads:
+        cells.append(Cell(workload=workload, trace_system=system,
+                          run_system=system, sim=sim, policy=None,
+                          policy_name="none"))
+        for spec in designs:
+            target = spec.system if spec.system is not None else system
+            cells.append(Cell(workload=workload, trace_system=system,
+                              run_system=target, sim=sim,
+                              policy=spec.factory,
+                              policy_name=spec.name))
+    return cells
+
+
 def sweep_designs(designs: list[DesignSpec],
                   system: SystemConfig,
                   sim: SimConfig,
                   workloads: list[WorkloadProfile] | None = None,
                   quick: bool = True) -> dict[str, SlowdownSeries]:
-    """Run every design against every workload with shared baselines."""
+    """Run every design against every workload with shared baselines.
+
+    Cells are submitted through the ambient
+    :class:`~repro.exec.SweepExecutor` when one is activated
+    (``repro.exec.runtime``), which brings cross-experiment baseline
+    sharing, the run cache and ``--jobs N`` fan-out; otherwise a private
+    serial executor reproduces the historical behaviour.  When ambient
+    telemetry is active the sweep instead runs the fully instrumented
+    serial loop (phase timers, per-run journal records) — parallelism
+    and caching would drop telemetry events, see ``docs/parallel.md``.
+    """
     if workloads is None:
         workloads = profiles_for(quick=quick)
+    if obs_runtime.active() is not None:
+        executor = exec_runtime.active()
+        if executor is not None:
+            executor.warn_telemetry_fallback()
+        return _sweep_instrumented(designs, system, sim, workloads)
+    executor = exec_runtime.active()
+    if executor is None:
+        executor = SweepExecutor()
+    results = executor.run_cells(sweep_cells(designs, system, sim,
+                                             workloads))
+    series = {spec.name: SlowdownSeries(spec.name) for spec in designs}
+    cursor = iter(results)
+    for _workload in workloads:
+        baseline = next(cursor)
+        for spec in designs:
+            series[spec.name].add(ComparisonResult(baseline, next(cursor)))
+    return series
+
+
+def _sweep_instrumented(designs: list[DesignSpec],
+                        system: SystemConfig,
+                        sim: SimConfig,
+                        workloads: list[WorkloadProfile]
+                        ) -> dict[str, SlowdownSeries]:
+    """Serial sweep with full telemetry (phases, journal, timeline)."""
     series = {spec.name: SlowdownSeries(spec.name) for spec in designs}
     for workload in workloads:
         with _phase("build_traces"):
@@ -172,17 +236,35 @@ def sweep_designs(designs: list[DesignSpec],
 
 
 def series_rows(series: dict[str, SlowdownSeries]) -> list[dict]:
-    """Flatten sweep results into per-workload result rows."""
+    """Flatten sweep results into per-workload result rows.
+
+    Every design must cover the same workload set — a mismatch means the
+    sweep lost or mixed up cells, and silently trusting the first design
+    would render a table with misleading holes.
+    """
+    if not series:
+        return []
+    coverage = {design: frozenset(data.slowdowns)
+                for design, data in series.items()}
+    reference_design, reference = next(iter(coverage.items()))
+    mismatched = {design: workloads
+                  for design, workloads in coverage.items()
+                  if workloads != reference}
+    if mismatched:
+        details = "; ".join(
+            f"{design}: {sorted(reference ^ workloads)}"
+            for design, workloads in mismatched.items())
+        raise ValueError(
+            f"designs cover different workload sets (vs "
+            f"{reference_design}): {details}")
     rows: list[dict] = []
-    names = sorted(next(iter(series.values())).slowdowns) if series else []
-    for workload in names:
+    for workload in sorted(reference):
         row: dict = {"workload": workload}
         for design, data in series.items():
             row[design] = data.slowdowns[workload]
         rows.append(row)
-    if series:
-        average: dict = {"workload": "AVERAGE"}
-        for design, data in series.items():
-            average[design] = data.average_slowdown
-        rows.append(average)
+    average: dict = {"workload": "AVERAGE"}
+    for design, data in series.items():
+        average[design] = data.average_slowdown
+    rows.append(average)
     return rows

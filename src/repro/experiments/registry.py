@@ -1,14 +1,21 @@
-"""Experiment registry: name -> runnable, for the CLI and the benches."""
+"""Experiment registry: name -> runnable, for the CLI and the benches.
+
+:func:`run_experiment` is the single dispatch point: the CLI, the
+benchmark harness and tests all enter here, so a sweep executor
+activated via :mod:`repro.exec.runtime` (worker pool + run cache) covers
+every experiment an invocation touches.
+"""
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from repro.experiments import (ablations, dos, fig5, fig9, fig10, fig11,
                                fig15, fig17, fig19, fig22, fig23,
                                motivation, table1, table3, table4, table5,
                                table6, table7)
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import DEFAULT_SEED, ExperimentResult
 
 ExperimentRunner = Callable[..., ExperimentResult]
 
@@ -66,3 +73,21 @@ def get(name: str) -> ExperimentRunner:
 def names() -> list[str]:
     """All experiment names in paper order."""
     return list(EXPERIMENTS)
+
+
+def run_experiment(name: str, quick: bool = True,
+                   seed: int = DEFAULT_SEED,
+                   requests_per_core: int | None = None
+                   ) -> ExperimentResult:
+    """Run one experiment through the registry.
+
+    ``requests_per_core`` overrides the per-core request budget for
+    runners that expose one (all simulation-driven experiments do);
+    analytic experiments without the parameter ignore the override.
+    """
+    runner = get(name)
+    kwargs: dict = {"quick": quick, "seed": seed}
+    if requests_per_core is not None and \
+            "requests_per_core" in inspect.signature(runner).parameters:
+        kwargs["requests_per_core"] = requests_per_core
+    return runner(**kwargs)

@@ -11,6 +11,7 @@ decoupled DREAM designs live in :mod:`repro.core.dream_r` and
 from __future__ import annotations
 
 from repro.dram.commands import Command
+from repro.exec.spec import spec_factory
 from repro.mc.policy import (MitigationPolicy, MitigationPort, NoMitigation,
                              PolicyContext, PolicyFactory, PolicyStats,
                              no_mitigation_factory)
@@ -116,12 +117,14 @@ class CoupledMintPolicy(MitigationPolicy):
         self.record_event(event)
 
 
+@spec_factory
 def coupled_para_factory(t_rh: int,
                          command: Command = Command.DRFM_SB) -> PolicyFactory:
     """Factory for :class:`CoupledParaPolicy` (Figure 5 configurations)."""
     return lambda context: CoupledParaPolicy(context, t_rh, command)
 
 
+@spec_factory
 def coupled_mint_factory(t_rh: int,
                          command: Command = Command.DRFM_SB) -> PolicyFactory:
     """Factory for :class:`CoupledMintPolicy` (Figure 5 configurations)."""

@@ -28,6 +28,7 @@ from repro.dram.bank import DARRegister
 from repro.dram.commands import Command
 from repro.dram.subchannel import MitigationEvent
 from repro.dram.timing import DDR5Timing
+from repro.exec.spec import spec_factory
 
 
 class MitigationPort(Protocol):
@@ -160,6 +161,7 @@ class NoMitigation(MitigationPolicy):
         return False
 
 
+@spec_factory
 def no_mitigation_factory() -> PolicyFactory:
     """Factory for the unprotected baseline."""
     return lambda context: NoMitigation()

@@ -32,9 +32,9 @@ class SchedulingPolicy(enum.Enum):
     FR_FCFS = "fr-fcfs"
 
 
-@dataclass
+@dataclass(slots=True)
 class QueuedRequest:
-    """One buffered request awaiting issue."""
+    """One buffered request awaiting issue (per-request hot payload)."""
 
     arrival_ps: int
     bank: int

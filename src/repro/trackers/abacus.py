@@ -27,6 +27,7 @@ import math
 import numpy as np
 
 from repro.dram.commands import Command
+from repro.exec.spec import spec_factory
 from repro.mc.policy import (MitigationPolicy, PolicyContext,
                              PolicyFactory)
 from repro.trackers.base import (CounterTracker, MitigationDemand,
@@ -139,6 +140,7 @@ class AbacusPolicy(MitigationPolicy):
         return data
 
 
+@spec_factory
 def abacus_factory(t_rh: int) -> PolicyFactory:
     """Factory for :class:`AbacusPolicy` (Figure 17 configurations)."""
     return lambda context: AbacusPolicy(context, t_rh)

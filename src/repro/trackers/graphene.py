@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 
+from repro.exec.spec import spec_factory
 from repro.mc.policy import (MitigationPolicy, PolicyContext,
                              PolicyFactory)
 from repro.dram.commands import Command
@@ -173,6 +174,7 @@ class GraphenePolicy(MitigationPolicy):
         return self.tables[0].storage_bits()
 
 
+@spec_factory
 def graphene_factory(t_rh: int,
                      command: Command = Command.DRFM_SB) -> PolicyFactory:
     """Factory for :class:`GraphenePolicy`."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.core.rmaq import MAX_ACTS_PER_TREFI
 from repro.dram.commands import Command
+from repro.exec.spec import spec_factory
 from repro.mc.policy import MitigationPolicy, PolicyContext, PolicyFactory
 from repro.trackers.mint import THRESHOLD_PER_WINDOW
 
@@ -89,6 +90,7 @@ class InDramMintPolicy(MitigationPolicy):
         return False
 
 
+@spec_factory
 def indram_mint_factory(refs_per_mitigation: int = 4) -> PolicyFactory:
     """Factory for :class:`InDramMintPolicy` (Section 8 comparisons)."""
     return lambda context: InDramMintPolicy(context, refs_per_mitigation)

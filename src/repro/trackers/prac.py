@@ -22,6 +22,7 @@ provides the counter/ABO machinery for the extrinsic part.
 from __future__ import annotations
 
 from repro.dram.commands import Command
+from repro.exec.spec import spec_factory
 from repro.dram.timing import ns
 from repro.mc.policy import (MitigationPolicy, PolicyContext,
                              PolicyFactory)
@@ -111,6 +112,7 @@ class MoatPolicy(MitigationPolicy):
         return data
 
 
+@spec_factory
 def moat_factory(t_rh: int,
                  abo_stall_ps: int = DEFAULT_ABO_STALL_PS) -> PolicyFactory:
     """Factory for :class:`MoatPolicy` (Figure 19 PRAC configurations)."""

@@ -18,6 +18,7 @@ with DRFM instead of trusting opaque in-DRAM schemes.
 
 from __future__ import annotations
 
+from repro.exec.spec import spec_factory
 from repro.mc.policy import MitigationPolicy, PolicyContext, PolicyFactory
 from repro.dram.commands import Command
 
@@ -102,6 +103,7 @@ class TRRPolicy(MitigationPolicy):
         return False
 
 
+@spec_factory
 def trr_factory(entries: int = DEFAULT_TRR_ENTRIES) -> PolicyFactory:
     """Factory for :class:`TRRPolicy` (motivation-section comparisons)."""
     return lambda context: TRRPolicy(context, entries)

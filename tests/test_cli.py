@@ -119,6 +119,63 @@ class TestTelemetryFlags:
         assert "wall-clock profile" in out
 
 
+class TestExecFlags:
+    def test_defaults_off(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.jobs is None
+        assert args.cache_dir is None
+        assert not args.no_cache
+        assert args.requests is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "fig9", "--jobs", "4", "--cache-dir", ".runcache",
+             "--no-cache", "--requests", "500"])
+        assert args.jobs == 4
+        assert args.cache_dir == ".runcache"
+        assert args.no_cache
+        assert args.requests == 500
+
+    def test_report_accepts_flags_too(self):
+        args = build_parser().parse_args(
+            ["report", "--jobs", "2", "table1"])
+        assert args.jobs == 2
+
+    def _run_json(self, capsys, *flags):
+        assert main(["run", "ablation-atm", "--json",
+                     "--requests", "500", *flags]) == 0
+        captured = capsys.readouterr()
+        return captured.out, captured.err
+
+    def test_parallel_json_byte_identical_to_serial(self, capsys):
+        serial, _ = self._run_json(capsys)
+        parallel, err = self._run_json(capsys, "--jobs", "2")
+        assert parallel == serial
+        assert "executor[jobs=2]" in err
+
+    def test_warm_cache_run_byte_identical_and_all_hits(self, tmp_path,
+                                                        capsys):
+        cache = str(tmp_path / "runcache")
+        cold, cold_err = self._run_json(capsys, "--cache-dir", cache)
+        assert "misses=0" not in cold_err
+        warm, warm_err = self._run_json(capsys, "--cache-dir", cache)
+        assert warm == cold
+        assert "misses=0" in warm_err
+        assert "hits=10" in warm_err
+
+    def test_no_cache_disables_cache_dir(self, tmp_path, capsys):
+        cache = str(tmp_path / "runcache")
+        self._run_json(capsys, "--cache-dir", cache, "--no-cache")
+        assert not (tmp_path / "runcache").exists()
+
+    def test_telemetry_wins_over_executor_flags(self, tmp_path, capsys):
+        cache = str(tmp_path / "runcache")
+        _, err = self._run_json(capsys, "--jobs", "2",
+                                "--cache-dir", cache, "--profile")
+        assert "ignoring --jobs" in err
+        assert not (tmp_path / "runcache").exists()
+
+
 class TestStats:
     @pytest.fixture
     def journal_path(self, tmp_path):

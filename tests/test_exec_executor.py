@@ -1,0 +1,249 @@
+"""Integration tests for the sweep executor: parallelism, memoisation,
+caching and the telemetry fallback.
+
+The guarantee under test throughout: execution mode (serial, pooled,
+memoised, cached) never changes a single simulated number.
+"""
+
+import json
+
+import pytest
+
+from repro.exec import runtime as exec_runtime
+from repro.exec.cache import RunCache
+from repro.exec.executor import Cell, SweepExecutor, cell_fingerprint
+from repro.experiments.common import (DesignSpec, series_rows,
+                                      sweep_cells, sweep_designs)
+from repro.mc.mitigation import coupled_para_factory
+from repro.mc.policy import NoMitigation, no_mitigation_factory
+from repro.obs import Telemetry
+from repro.obs import runtime as obs_runtime
+from repro.sim.config import SimConfig, SystemConfig
+from repro.workloads.builder import clear_cache
+from repro.workloads.profiles import profiles_for
+
+
+@pytest.fixture(autouse=True)
+def _fresh_trace_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture
+def workloads():
+    return profiles_for(names=["mcf"])
+
+
+@pytest.fixture
+def designs():
+    return [DesignSpec("none", no_mitigation_factory()),
+            DesignSpec("para", coupled_para_factory(2000))]
+
+
+def _series_json(series) -> str:
+    return json.dumps(series_rows(series), sort_keys=True)
+
+
+def _sweep(designs, small_system, sim, workloads, executor=None):
+    with exec_runtime.activated(executor):
+        return sweep_designs(designs, small_system, sim,
+                             workloads=workloads)
+
+
+class TestCells:
+    def test_canonical_order_baseline_first(self, small_system, small_sim,
+                                            designs):
+        two = profiles_for(names=["mcf", "add"])
+        cells = sweep_cells(designs, small_system, small_sim, two)
+        names = [cell.policy_name for cell in cells]
+        assert names == ["none", "none", "para",
+                         "none", "none", "para"]
+        assert [cell.workload.name for cell in cells[:3]] == ["mcf"] * 3
+
+    def test_system_override_only_affects_run_system(self, small_sim,
+                                                     workloads):
+        system = SystemConfig.baseline(refs_per_window=64, num_cores=2)
+        prac = SystemConfig.prac(64, num_cores=2)
+        specs = [DesignSpec("prac", no_mitigation_factory(), system=prac)]
+        cells = sweep_cells(specs, system, small_sim, workloads)
+        assert cells[1].trace_system == system
+        assert cells[1].run_system == prac
+
+    def test_spec_cells_fingerprint_and_closures_do_not(self, small_system,
+                                                        small_sim,
+                                                        workloads):
+        specced = Cell(workload=workloads[0], trace_system=small_system,
+                       run_system=small_system, sim=small_sim,
+                       policy=no_mitigation_factory(), policy_name="none")
+        bare = Cell(workload=workloads[0], trace_system=small_system,
+                    run_system=small_system, sim=small_sim,
+                    policy=lambda context: NoMitigation(),
+                    policy_name="closure")
+        assert cell_fingerprint(specced) is not None
+        assert cell_fingerprint(bare) is None
+
+
+class TestDeterminism:
+    def test_parallel_results_byte_identical_to_serial(self, small_system,
+                                                       small_sim, designs,
+                                                       workloads):
+        serial = _sweep(designs, small_system, small_sim, workloads)
+        with SweepExecutor(jobs=2) as executor:
+            parallel = _sweep(designs, small_system, small_sim, workloads,
+                              executor)
+        assert _series_json(parallel) == _series_json(serial)
+
+    def test_cached_results_byte_identical(self, tmp_path, small_system,
+                                           small_sim, designs, workloads):
+        with SweepExecutor(cache=RunCache(tmp_path)) as cold:
+            first = _sweep(designs, small_system, small_sim, workloads,
+                           cold)
+        with SweepExecutor(cache=RunCache(tmp_path)) as warm:
+            second = _sweep(designs, small_system, small_sim, workloads,
+                            warm)
+        assert _series_json(second) == _series_json(first)
+        assert warm.stats.computed == 0
+
+    def test_closure_designs_still_work(self, small_system, small_sim,
+                                        workloads):
+        closure = [DesignSpec("closure",
+                              lambda context: NoMitigation())]
+        with SweepExecutor(jobs=2) as executor:
+            series = _sweep(closure, small_system, small_sim, workloads,
+                            executor)
+        assert executor.stats.inline > 0
+        assert series["closure"].average_slowdown == \
+            pytest.approx(0.0, abs=0.1)
+
+
+class TestReuse:
+    def test_baseline_memoised_across_experiments(self, small_system,
+                                                  small_sim, designs,
+                                                  workloads):
+        with SweepExecutor() as executor:
+            _sweep(designs, small_system, small_sim, workloads, executor)
+            computed_first = executor.stats.computed
+            _sweep(designs, small_system, small_sim, workloads, executor)
+        assert computed_first == 3  # baseline + 2 designs
+        assert executor.stats.computed == computed_first
+        assert executor.stats.memo_hits >= 3
+
+    def test_warm_cache_hits_without_recompute(self, tmp_path,
+                                               small_system, small_sim,
+                                               designs, workloads):
+        with SweepExecutor(cache=RunCache(tmp_path)) as cold:
+            _sweep(designs, small_system, small_sim, workloads, cold)
+        assert cold.cache.stats.stores == 3
+        assert cold.cache.stats.hits == 0
+        with SweepExecutor(cache=RunCache(tmp_path)) as warm:
+            _sweep(designs, small_system, small_sim, workloads, warm)
+        assert warm.cache.stats.hits == 3
+        assert warm.cache.stats.misses == 0
+        assert warm.stats.computed == 0
+
+    def test_changed_seed_misses_cache(self, tmp_path, small_system,
+                                       designs, workloads):
+        cache_dir = tmp_path
+        with SweepExecutor(cache=RunCache(cache_dir)) as cold:
+            _sweep(designs, small_system,
+                   SimConfig(requests_per_core=1_500, seed=7),
+                   workloads, cold)
+        with SweepExecutor(cache=RunCache(cache_dir)) as reseeded:
+            _sweep(designs, small_system,
+                   SimConfig(requests_per_core=1_500, seed=8),
+                   workloads, reseeded)
+        assert reseeded.cache.stats.hits == 0
+        assert reseeded.stats.computed == 3
+
+    def test_changed_policy_args_miss_cache(self, tmp_path, small_system,
+                                            small_sim, workloads):
+        with SweepExecutor(cache=RunCache(tmp_path)) as cold:
+            _sweep([DesignSpec("para", coupled_para_factory(2000))],
+                   small_system, small_sim, workloads, cold)
+        with SweepExecutor(cache=RunCache(tmp_path)) as warm:
+            _sweep([DesignSpec("para", coupled_para_factory(4000))],
+                   small_system, small_sim, workloads, warm)
+        # Baseline hits; the retuned design must not.
+        assert warm.cache.stats.hits == 1
+        assert warm.stats.computed == 1
+
+    def test_changed_system_misses_cache(self, tmp_path, small_sim,
+                                         designs, workloads):
+        with SweepExecutor(cache=RunCache(tmp_path)) as cold:
+            _sweep(designs,
+                   SystemConfig.baseline(refs_per_window=64, num_cores=2),
+                   small_sim, workloads, cold)
+        with SweepExecutor(cache=RunCache(tmp_path)) as warm:
+            _sweep(designs,
+                   SystemConfig.baseline(refs_per_window=32, num_cores=2),
+                   small_sim, workloads, warm)
+        assert warm.cache.stats.hits == 0
+        assert warm.stats.computed == 3
+
+    def test_corrupt_entry_recomputed(self, tmp_path, small_system,
+                                      small_sim, designs, workloads):
+        with SweepExecutor(cache=RunCache(tmp_path)) as cold:
+            reference = _sweep(designs, small_system, small_sim,
+                               workloads, cold)
+        for entry in tmp_path.rglob("*.json"):
+            entry.write_text("garbage{")
+        with SweepExecutor(cache=RunCache(tmp_path)) as warm:
+            recovered = _sweep(designs, small_system, small_sim,
+                               workloads, warm)
+        assert warm.cache.stats.corrupt == 3
+        assert warm.stats.computed == 3
+        assert _series_json(recovered) == _series_json(reference)
+
+
+class TestTelemetryFallback:
+    def test_telemetry_forces_inline_uncached(self, tmp_path, capsys,
+                                              small_system, small_sim,
+                                              designs, workloads):
+        telemetry = Telemetry(profile=True)
+        with SweepExecutor(jobs=2, cache=RunCache(tmp_path)) as executor:
+            with obs_runtime.activated(telemetry):
+                series = _sweep(designs, small_system, small_sim,
+                                workloads, executor)
+        assert executor.cache.stats.stores == 0
+        assert "telemetry is active" in capsys.readouterr().err
+        assert list(tmp_path.iterdir()) == []
+        assert "para" in series
+
+    def test_telemetry_fallback_matches_plain_results(self, small_system,
+                                                      small_sim, designs,
+                                                      workloads):
+        plain = _sweep(designs, small_system, small_sim, workloads)
+        telemetry = Telemetry(profile=True)
+        with SweepExecutor(jobs=2) as executor:
+            with obs_runtime.activated(telemetry):
+                instrumented = _sweep(designs, small_system, small_sim,
+                                      workloads, executor)
+        assert _series_json(instrumented) == _series_json(plain)
+
+    def test_warning_printed_once(self, capsys):
+        executor = SweepExecutor(jobs=2)
+        executor.warn_telemetry_fallback()
+        executor.warn_telemetry_fallback()
+        assert capsys.readouterr().err.count("telemetry is active") == 1
+
+    def test_plain_serial_executor_never_warns(self, capsys):
+        SweepExecutor().warn_telemetry_fallback()
+        assert capsys.readouterr().err == ""
+
+
+class TestRuntime:
+    def test_activated_scopes_the_ambient_executor(self):
+        executor = SweepExecutor()
+        assert exec_runtime.active() is None
+        with exec_runtime.activated(executor):
+            assert exec_runtime.active() is executor
+        assert exec_runtime.active() is None
+
+    def test_activated_none_is_a_noop(self):
+        with exec_runtime.activated(None):
+            assert exec_runtime.active() is None
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(jobs=0)

@@ -103,3 +103,25 @@ class TestSweep:
 
     def test_series_rows_empty(self):
         assert series_rows({}) == []
+
+    def test_series_rows_rejects_mismatched_coverage(self):
+        # A design missing one workload means the sweep lost a cell;
+        # rendering would silently produce a table with holes.
+        from repro.analysis.slowdown import SlowdownSeries
+
+        full = SlowdownSeries("full")
+        full.slowdowns.update({"mcf": 1.0, "add": 2.0})
+        partial = SlowdownSeries("partial")
+        partial.slowdowns.update({"mcf": 1.5})
+        with pytest.raises(ValueError, match="different workload sets"):
+            series_rows({"full": full, "partial": partial})
+
+    def test_series_rows_error_names_offending_design(self):
+        from repro.analysis.slowdown import SlowdownSeries
+
+        full = SlowdownSeries("full")
+        full.slowdowns.update({"mcf": 1.0, "add": 2.0})
+        partial = SlowdownSeries("partial")
+        partial.slowdowns.update({"mcf": 1.5})
+        with pytest.raises(ValueError, match=r"partial: \['add'\]"):
+            series_rows({"full": full, "partial": partial})
