@@ -18,6 +18,19 @@ Quick start::
     protected = run_simulation(system, traces, sim,
                                dream_r_mint_factory(t_rh=2000),
                                "mint-dream-r")
+
+Whole experiments run through the registry with one options record::
+
+    from repro import RunOptions, run_experiment
+
+    result = run_experiment("fig9", RunOptions(mode="quick", seed=2025))
+
+The experiment harness (``run_experiment`` / :class:`RunOptions`), the
+sweep-execution substrate (:class:`SweepExecutor` / :class:`RunCache` /
+``exec_runtime``) and the observability entry points
+(:class:`Telemetry` / ``obs_runtime``) are part of the curated surface
+below; everything deeper is internal and may move between releases (see
+``docs/api.md``).
 """
 
 from repro.core import (ActiveTargetMonitor, DreamCConfig, DreamCPolicy,
@@ -38,8 +51,47 @@ from repro.workloads import (PROFILES, MemoryTrace, WorkloadProfile,
 
 __version__ = "1.0.0"
 
+#: Harness-level names resolved lazily: importing the experiment
+#: registry pulls in the whole experiment suite, and the executor would
+#: cycle back through ``repro.sim`` while this module is initialising.
+_LAZY = {
+    "CellPolicy": ("repro.exec.resilience", "CellPolicy"),
+    "ExperimentResult": ("repro.experiments.common", "ExperimentResult"),
+    "FailedCell": ("repro.exec.resilience", "FailedCell"),
+    "FaultPlan": ("repro.exec.faults", "FaultPlan"),
+    "RunCache": ("repro.exec.cache", "RunCache"),
+    "RunOptions": ("repro.experiments.common", "RunOptions"),
+    "SweepCheckpoint": ("repro.exec.resilience", "SweepCheckpoint"),
+    "SweepExecutor": ("repro.exec.executor", "SweepExecutor"),
+    "SweepFailure": ("repro.exec.resilience", "SweepFailure"),
+    "Telemetry": ("repro.obs", "Telemetry"),
+    "exec_runtime": ("repro.exec.runtime", None),
+    "obs_runtime": ("repro.obs.runtime", None),
+    "run_experiment": ("repro.experiments.registry", "run_experiment"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = module if attr is None else getattr(module, attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
+
 __all__ = [
     "ActiveTargetMonitor",
+    "CellPolicy",
     "Command",
     "ComparisonResult",
     "DDR5Timing",
@@ -48,6 +100,9 @@ __all__ = [
     "DreamCPolicy",
     "DreamRMintPolicy",
     "DreamRParaPolicy",
+    "ExperimentResult",
+    "FailedCell",
+    "FaultPlan",
     "GangMapper",
     "MOPMapper",
     "MemoryController",
@@ -55,10 +110,16 @@ __all__ = [
     "Organization",
     "PROFILES",
     "RecentMitigationQueue",
+    "RunCache",
+    "RunOptions",
     "RunResult",
     "SimConfig",
     "SubChannel",
+    "SweepCheckpoint",
+    "SweepExecutor",
+    "SweepFailure",
     "SystemConfig",
+    "Telemetry",
     "WorkloadProfile",
     "__version__",
     "abacus_factory",
@@ -70,12 +131,15 @@ __all__ = [
     "dream_c_factory",
     "dream_r_mint_factory",
     "dream_r_para_factory",
+    "exec_runtime",
     "graphene_factory",
     "moat_factory",
     "no_mitigation_factory",
+    "obs_runtime",
     "profile",
     "profiles_for",
     "revised_parameters",
     "run_comparison",
+    "run_experiment",
     "run_simulation",
 ]

@@ -4,7 +4,8 @@ Subcommands:
 
 * ``list`` — show the available experiments (one per paper table/figure).
 * ``run <names...>`` — run experiments and print their result tables
-  (``--full`` sweeps all 22 workloads; default is the quick subset).
+  (``--mode full`` sweeps all 22 workloads; default is the quick
+  subset; ``--full`` is a deprecated alias).
 * ``report`` — run experiments and write a combined markdown report.
 * ``stats <journal.jsonl>`` — summarise a telemetry run journal.
 * ``storage <t_rh>`` — print the full-size storage comparison.
@@ -21,15 +22,19 @@ They also accept the sweep-execution flags ``--jobs N`` (fan simulation
 cells over N worker processes; ``0`` = all cores), ``--cache-dir DIR``
 (content-addressed run cache: warm re-runs skip simulation entirely),
 ``--no-cache`` (ignore ``--cache-dir`` for one invocation) and
-``--requests N`` (per-core request-budget override for smoke runs).
-Results are byte-identical across serial, parallel and cached
-executions; telemetry forces the serial uncached path (a warning is
-printed), see ``docs/parallel.md``.
+``--requests N`` (per-core request-budget override for smoke runs),
+plus the resilience flags ``--retries N`` (per-cell retry budget),
+``--timeout S`` (per-attempt wall-clock limit) and ``--resume``
+(continue an interrupted sweep from the checkpoint journal next to the
+run cache).  Results are byte-identical across serial, parallel, cached
+and resumed executions; telemetry forces the serial uncached path (a
+warning is printed), see ``docs/parallel.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.security import revised_parameters
@@ -37,9 +42,25 @@ from repro.core.storage import compare_storage
 from repro.exec import runtime as exec_runtime
 from repro.exec.cache import RunCache
 from repro.exec.executor import SweepExecutor
+from repro.exec.resilience import CellPolicy, SweepCheckpoint, SweepFailure
 from repro.experiments import registry
+from repro.experiments.common import RunOptions
 from repro.obs import runtime as obs_runtime
 from repro.obs.profiling import Stopwatch
+
+#: Environment-variable precedence, rendered into ``--help``.
+ENV_HELP = """\
+environment variables (command-line flags always win):
+  REPRO_FULL=1         default --mode full for run/report (and the
+                       benchmark harness); --mode/--full override it
+  REPRO_JOBS=N         default worker count when --jobs is not given
+                       (0 = all cores)
+  REPRO_CACHE_DIR=DIR  default run-cache directory when --cache-dir is
+                       not given (--no-cache disables either source)
+  REPRO_FAULTS=SPEC    deterministic fault injection for soak testing,
+                       e.g. "crash:*:1;hang:ab@2;corrupt:cd" — see
+                       docs/parallel.md for the grammar
+"""
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -77,30 +98,74 @@ def _emit_telemetry(args: argparse.Namespace, telemetry) -> None:
         print(telemetry.profiler.render())
 
 
+def _resolve_mode(args: argparse.Namespace) -> str:
+    """Sweep mode from ``--mode``, the deprecated ``--full`` alias, or
+    ``REPRO_FULL=1`` — in that precedence order."""
+    if getattr(args, "full", False):
+        print("[repro.cli] --full is deprecated; use --mode full",
+              file=sys.stderr)
+        if args.mode is None:
+            return "full"
+    if args.mode is not None:
+        return args.mode
+    return "full" if os.environ.get("REPRO_FULL", "") == "1" else "quick"
+
+
+def _env_jobs() -> int | None:
+    """Worker count from ``REPRO_JOBS``, or ``None`` when unset/bad."""
+    raw = os.environ.get("REPRO_JOBS", "")
+    try:
+        return int(raw) if raw else None
+    except ValueError:
+        return None
+
+
 def _build_executor(args: argparse.Namespace,
                     telemetry) -> SweepExecutor | None:
     """Construct a SweepExecutor from CLI flags, or ``None`` if all off.
 
-    Telemetry wins over parallelism/caching (counting events across
-    worker processes or past a cache hit would under-report): when both
-    are requested the executor flags are dropped with a loud warning.
+    Flags beat the ``REPRO_JOBS``/``REPRO_CACHE_DIR`` environment
+    defaults.  Telemetry wins over parallelism/caching (counting events
+    across worker processes or past a cache hit would under-report):
+    when both are requested the executor flags are dropped with a loud
+    warning.  The resilience flags (``--retries``/``--timeout``) do not
+    conflict with telemetry — the serial instrumented path still runs
+    under the retry policy.
     """
-    jobs = args.jobs if args.jobs is not None else 1
+    jobs_flag = args.jobs if args.jobs is not None else _env_jobs()
+    jobs = jobs_flag if jobs_flag is not None else 1
     if jobs == 0:
-        import os
-
         jobs = os.cpu_count() or 1
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR", "")
     cache = None
-    if args.cache_dir and not args.no_cache:
-        cache = RunCache(args.cache_dir)
+    if cache_dir and not args.no_cache:
+        cache = RunCache(cache_dir)
+    if args.resume and cache is None:
+        print("error: --resume needs a run cache (--cache-dir DIR or "
+              "REPRO_CACHE_DIR) holding the interrupted sweep's results",
+              file=sys.stderr)
+        raise SystemExit(2)
     if telemetry is not None and (jobs > 1 or cache is not None):
         print("[repro.exec] telemetry flags given: ignoring --jobs/"
               "--cache-dir and running serial, uncached "
               "(see docs/parallel.md)", file=sys.stderr)
+        jobs, cache = 1, None
+    defaults = CellPolicy()
+    policy = CellPolicy(
+        timeout_s=args.timeout,
+        retries=args.retries if args.retries is not None
+        else defaults.retries)
+    wants_resilience = (args.retries is not None or
+                        args.timeout is not None or args.resume)
+    if jobs == 1 and cache is None and jobs_flag is None and \
+            not wants_resilience:
         return None
-    if jobs == 1 and cache is None and args.jobs is None:
-        return None
-    return SweepExecutor(jobs=jobs, cache=cache)
+    checkpoint = None
+    if cache is not None:
+        checkpoint = SweepCheckpoint(cache.checkpoint_path(),
+                                     resume=args.resume)
+    return SweepExecutor(jobs=jobs, cache=cache, policy=policy,
+                         checkpoint=checkpoint)
 
 
 def _emit_executor(executor: SweepExecutor | None) -> None:
@@ -108,18 +173,34 @@ def _emit_executor(executor: SweepExecutor | None) -> None:
         print(f"[repro.exec] {executor.describe()}", file=sys.stderr)
 
 
+def _run_options(args: argparse.Namespace) -> RunOptions:
+    """One :class:`RunOptions` record from the normalized CLI flags."""
+    return RunOptions(mode=_resolve_mode(args),
+                      requests_per_core=args.requests,
+                      seed=args.seed,
+                      retries=args.retries,
+                      timeout_s=args.timeout,
+                      resume=args.resume)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = args.experiments or registry.names()
     telemetry = _build_telemetry(args)
     executor = _build_executor(args, telemetry)
+    options = _run_options(args)
+    failed: list[str] = []
     with obs_runtime.activated(telemetry), \
             exec_runtime.activated(executor):
         try:
             for name in names:
                 watch = Stopwatch()
-                result = registry.run_experiment(
-                    name, quick=not args.full, seed=args.seed,
-                    requests_per_core=args.requests)
+                try:
+                    result = registry.run_experiment(name, options)
+                except SweepFailure as failure:
+                    failed.append(name)
+                    print(f"[repro.exec] {name}: {failure}",
+                          file=sys.stderr)
+                    continue
                 if args.json:
                     print(result.to_json())
                 else:
@@ -138,6 +219,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 executor.close()
     _emit_executor(executor)
     _emit_telemetry(args, telemetry)
+    if failed:
+        print(f"[repro.cli] {len(failed)} experiment(s) had failed "
+              f"cells: {', '.join(failed)} — completed cells are cached; "
+              f"rerun (with --resume) to retry only the failures",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -145,15 +232,21 @@ def _cmd_report(args: argparse.Namespace) -> int:
     names = args.experiments or registry.names()
     telemetry = _build_telemetry(args)
     executor = _build_executor(args, telemetry)
+    options = _run_options(args)
+    failed: list[str] = []
     sections = ["# DREAM reproduction report", ""]
     with obs_runtime.activated(telemetry), \
             exec_runtime.activated(executor):
         try:
             for name in names:
                 watch = Stopwatch()
-                result = registry.run_experiment(
-                    name, quick=not args.full, seed=args.seed,
-                    requests_per_core=args.requests)
+                try:
+                    result = registry.run_experiment(name, options)
+                except SweepFailure as failure:
+                    failed.append(name)
+                    print(f"[repro.exec] {name}: {failure}",
+                          file=sys.stderr)
+                    continue
                 sections.append(f"## {name}: {result.title}")
                 sections.append("")
                 sections.append("```")
@@ -174,6 +267,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(report)
     _emit_executor(executor)
     _emit_telemetry(args, telemetry)
+    if failed:
+        print(f"[repro.cli] {len(failed)} experiment(s) had failed "
+              f"cells: {', '.join(failed)} — completed cells are cached; "
+              f"rerun (with --resume) to retry only the failures",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -278,19 +377,39 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0 if plan.ok else 1
 
 
+def _add_mode_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mode", choices=("quick", "full"),
+                        help="sweep mode: quick = representative "
+                             "workload subset (default), full = all 22 "
+                             "workloads")
+    parser.add_argument("--full", action="store_true",
+                        help="deprecated alias for --mode full")
+
+
 def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, metavar="N",
                         help="fan simulation cells over N worker "
-                             "processes (0 = all cores; default serial)")
+                             "processes (0 = all cores; default serial, "
+                             "or REPRO_JOBS)")
     parser.add_argument("--cache-dir", metavar="DIR",
                         help="content-addressed run cache directory "
                              "(re-runs of identical cells are "
-                             "near-instant)")
+                             "near-instant; default REPRO_CACHE_DIR)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir for this invocation")
     parser.add_argument("--requests", type=int, metavar="N",
                         help="per-core request-budget override "
                              "(smoke/CI runs)")
+    parser.add_argument("--retries", type=int, metavar="N",
+                        help="per-cell retry budget before a cell is "
+                             "declared failed (default 2)")
+    parser.add_argument("--timeout", type=float, metavar="S",
+                        help="per-attempt wall-clock limit in seconds "
+                             "(default unlimited)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep from the "
+                             "checkpoint journal next to the run cache "
+                             "(requires --cache-dir)")
 
 
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
@@ -309,17 +428,20 @@ def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="dream-repro",
-        description="DREAM (ISCA 2025) reproduction harness")
+        description="DREAM (ISCA 2025) reproduction harness",
+        epilog=ENV_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list experiments").set_defaults(
         func=_cmd_list)
 
-    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser = sub.add_parser(
+        "run", help="run experiments", epilog=ENV_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     run_parser.add_argument("experiments", nargs="*",
                             help="experiment names (default: all)")
-    run_parser.add_argument("--full", action="store_true",
-                            help="sweep all 22 workloads")
+    _add_mode_flags(run_parser)
     run_parser.add_argument("--seed", type=int, default=2025)
     run_parser.add_argument("--json", action="store_true",
                             help="emit machine-readable JSON")
@@ -330,10 +452,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.set_defaults(func=_cmd_run)
 
     report_parser = sub.add_parser(
-        "report", help="run experiments and write a combined report")
+        "report", help="run experiments and write a combined report",
+        epilog=ENV_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     report_parser.add_argument("experiments", nargs="*",
                                help="experiment names (default: all)")
-    report_parser.add_argument("--full", action="store_true")
+    _add_mode_flags(report_parser)
     report_parser.add_argument("--seed", type=int, default=2025)
     report_parser.add_argument("-o", "--output",
                                help="write the report to a file")

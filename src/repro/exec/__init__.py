@@ -10,6 +10,11 @@ Public surface:
   (:mod:`repro.exec.fingerprint`);
 * :func:`spec_factory` / :class:`PolicySpec` — picklable,
   fingerprintable policy factories (:mod:`repro.exec.spec`);
+* :class:`CellPolicy` / :class:`FailedCell` / :class:`SweepFailure` /
+  :class:`SweepCheckpoint` — per-cell retry policy, terminal failure
+  records and resumable checkpoints (:mod:`repro.exec.resilience`);
+* :class:`FaultPlan` — deterministic fault injection for soak runs and
+  tests (:mod:`repro.exec.faults`, ``REPRO_FAULTS``);
 * :mod:`repro.exec.runtime` — the ambient executor the CLI activates.
 
 Everything is loaded lazily: policy modules import
@@ -30,6 +35,16 @@ _LAZY = {
     "spec_factory": ("repro.exec.spec", "spec_factory"),
     "CacheStats": ("repro.exec.cache", "CacheStats"),
     "RunCache": ("repro.exec.cache", "RunCache"),
+    "CellPolicy": ("repro.exec.resilience", "CellPolicy"),
+    "CellTimeout": ("repro.exec.resilience", "CellTimeout"),
+    "FailedCell": ("repro.exec.resilience", "FailedCell"),
+    "SweepCheckpoint": ("repro.exec.resilience", "SweepCheckpoint"),
+    "SweepFailure": ("repro.exec.resilience", "SweepFailure"),
+    "backoff_delay": ("repro.exec.resilience", "backoff_delay"),
+    "validate_result": ("repro.exec.resilience", "validate_result"),
+    "Fault": ("repro.exec.faults", "Fault"),
+    "FaultPlan": ("repro.exec.faults", "FaultPlan"),
+    "InjectedCrash": ("repro.exec.faults", "InjectedCrash"),
     "Cell": ("repro.exec.executor", "Cell"),
     "ExecutorStats": ("repro.exec.executor", "ExecutorStats"),
     "SweepExecutor": ("repro.exec.executor", "SweepExecutor"),

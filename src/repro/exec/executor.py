@@ -1,4 +1,4 @@
-"""Parallel sweep executor with memoised, cache-backed cells.
+"""Parallel sweep executor with memoised, cache-backed, fault-tolerant cells.
 
 A *cell* is one independent simulation: build the (deterministic,
 calibrated) traces for a workload, then run one policy configuration on
@@ -20,6 +20,20 @@ serial, parallel and cached paths return byte-identical
 :class:`~repro.sim.results.RunResult` values, and the caller merges them
 back in its own fixed order.
 
+On top of the reuse layers sits a **resilience layer**
+(:mod:`repro.exec.resilience`): each cell runs under a
+:class:`~repro.exec.resilience.CellPolicy` (per-attempt timeout, bounded
+retries with deterministic fingerprint-jittered backoff); a cell that
+exhausts its budget becomes a :class:`~repro.exec.resilience.FailedCell`
+terminal record and the sweep finishes everything else before raising
+one :class:`~repro.exec.resilience.SweepFailure`.  Results crossing the
+process boundary are structurally validated, a repeatedly broken worker
+pool degrades to in-process serial execution with a loud warning, and an
+optional :class:`~repro.exec.resilience.SweepCheckpoint` journals
+completed fingerprints next to the run cache so an interrupted sweep
+resumes instead of recomputing.  Failure paths are exercised
+deterministically via :mod:`repro.exec.faults` (``REPRO_FAULTS``).
+
 Cells whose policy is not a :class:`~repro.exec.spec.PolicySpec` (a bare
 closure) cannot cross a process boundary or be fingerprinted; they are
 executed inline in the parent and never cached — correct, just without
@@ -29,21 +43,28 @@ Telemetry (:mod:`repro.obs`) counts simulator events in-process and
 journals every run, which a worker pool would split across processes and
 a cache hit would elide entirely.  The executor therefore refuses to
 parallelise or cache while ambient telemetry is active: it falls back to
-plain inline execution and warns once on stderr (see
-``docs/parallel.md``).
+inline execution (still under the retry policy) and warns once on stderr
+(see ``docs/parallel.md``).
 """
 
 from __future__ import annotations
 
 import sys
+import threading
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import (BrokenExecutor, Future,
+                                ProcessPoolExecutor)
+from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import dataclass
 from typing import Callable
 
+from repro.exec import faults
 from repro.exec.cache import RunCache
 from repro.exec.fingerprint import (FingerprintError, canonical,
                                     fingerprint)
+from repro.exec.resilience import (CellPolicy, CellTimeout, FailedCell,
+                                   SweepCheckpoint, SweepFailure,
+                                   validate_result)
 from repro.exec.spec import PolicySpec
 from repro.obs import runtime as obs_runtime
 from repro.sim.config import SimConfig, SystemConfig
@@ -92,19 +113,27 @@ def cell_fingerprint(cell: Cell) -> str | None:
 
 
 def _worker_init() -> None:
-    """Worker bootstrap: never inherit ambient telemetry across a fork."""
+    """Worker bootstrap: never inherit ambient telemetry across a fork,
+    and arm process-killing fault kinds (they must never fire inline)."""
     obs_runtime.deactivate()
+    faults.mark_worker()
 
 
-def _execute_cell(cell: Cell) -> tuple[RunResult, float]:
+def _execute_cell(cell: Cell, fp: str | None = None,
+                  attempt: int = 0) -> tuple[RunResult | object, float]:
     """Run one cell to completion (worker- and parent-side entry point).
 
     Returns the result plus the engine wall-seconds (excluding trace
     building), which feed the executor's aggregate events/sec figure.
+    ``fp``/``attempt`` key deterministic fault injection
+    (:mod:`repro.exec.faults`); with no plan active they are inert.
     """
     from repro.sim.runner import run_simulation
     from repro.workloads.builder import build_traces
 
+    corrupt = faults.inject_before(fp, attempt)
+    if corrupt is not None:
+        return faults.CORRUPT_SENTINEL, 0.0
     traces = build_traces(cell.workload, cell.trace_system, cell.sim)
     started = time.perf_counter()
     result = run_simulation(cell.run_system, traces, cell.sim,
@@ -120,6 +149,11 @@ class ExecutorStats:
     computed: int = 0
     inline: int = 0
     memo_hits: int = 0
+    resumed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    failed: int = 0
+    fallbacks: int = 0
     engine_events: int = 0
     engine_seconds: float = 0.0
     wall_seconds: float = 0.0
@@ -132,10 +166,18 @@ class ExecutorStats:
         return self.engine_events / self.engine_seconds
 
     def describe(self) -> str:
-        return (f"cells={self.cells} computed={self.computed} "
+        line = (f"cells={self.cells} computed={self.computed} "
                 f"memo_hits={self.memo_hits} inline={self.inline} "
-                f"wall={self.wall_seconds:.1f}s "
-                f"engine={self.events_per_sec:,.0f} events/s")
+                f"retries={self.retries} timeouts={self.timeouts}")
+        if self.resumed:
+            line += f" resumed={self.resumed}"
+        if self.failed:
+            line += f" failed={self.failed}"
+        if self.fallbacks:
+            line += f" fallbacks={self.fallbacks}"
+        line += (f" wall={self.wall_seconds:.1f}s "
+                 f"engine={self.events_per_sec:,.0f} events/s")
+        return line
 
 
 class SweepExecutor:
@@ -149,26 +191,46 @@ class SweepExecutor:
     cache:
         Optional :class:`RunCache`; hits skip simulation entirely and
         fresh results are persisted for future invocations.
+    policy:
+        Per-cell :class:`CellPolicy` (timeout, retries, backoff).  The
+        default retries twice with no timeout — a clean run is a single
+        attempt with zero overhead.
+    checkpoint:
+        Optional :class:`SweepCheckpoint` journalling completed cell
+        fingerprints; pair it with ``cache`` so a resumed run can serve
+        the journalled cells without recomputation.
     """
 
-    def __init__(self, jobs: int = 1, cache: RunCache | None = None) -> None:
+    #: Pool breakages tolerated before degrading to serial execution.
+    POOL_FAILURE_LIMIT = 2
+
+    def __init__(self, jobs: int = 1, cache: RunCache | None = None,
+                 policy: CellPolicy | None = None,
+                 checkpoint: SweepCheckpoint | None = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = cache
+        self.policy = policy if policy is not None else CellPolicy()
+        self.checkpoint = checkpoint
         self.stats = ExecutorStats()
+        self.failures: list[FailedCell] = []
         self._memo: dict[str, RunResult] = {}
         self._pool: ProcessPoolExecutor | None = None
+        self._pool_breaks = 0
+        self._pool_disabled = False
         self._warned_telemetry = False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool and checkpoint down (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self.checkpoint is not None:
+            self.checkpoint.close()
 
     def __enter__(self) -> "SweepExecutor":
         return self
@@ -182,31 +244,77 @@ class SweepExecutor:
                                              initializer=_worker_init)
         return self._pool
 
+    def _pool_usable(self) -> bool:
+        return self.jobs > 1 and not self._pool_disabled
+
+    def _note_pool_failure(self, pool: ProcessPoolExecutor | None) -> None:
+        """Record one pool breakage; degrade to serial past the limit.
+
+        ``pool`` is the executor the failed future came from: a stale
+        pool that was already replaced is ignored, so one breakage never
+        counts once per in-flight future.
+        """
+        if pool is None or pool is not self._pool:
+            return
+        self._pool_breaks += 1
+        try:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        self._pool = None
+        if self._pool_breaks >= self.POOL_FAILURE_LIMIT and \
+                not self._pool_disabled:
+            self._pool_disabled = True
+            self.stats.fallbacks += 1
+            self._obs_inc("exec.fallbacks")
+            print(f"[repro.exec] worker pool failed "
+                  f"{self._pool_breaks} times; falling back to "
+                  f"in-process serial execution", file=sys.stderr)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run_cells(self, cells: list[Cell]) -> list[RunResult]:
-        """Execute ``cells`` and return results in submission order."""
+        """Execute ``cells`` and return results in submission order.
+
+        Cells that fail terminally (retry budget exhausted) are reported
+        in one :class:`SweepFailure` raised *after* every other cell has
+        completed and been cached/checkpointed, so a relaunch — with
+        ``--resume`` or a warm cache — redoes only the losers.
+        """
         started = time.perf_counter()
         self.stats.cells += len(cells)
+        failures: list[FailedCell] = []
         if obs_runtime.active() is not None:
-            results = self._run_instrumented(cells)
+            results = self._run_instrumented(cells, failures)
         else:
-            results = self._run(cells)
+            results = self._run(cells, failures)
         self.stats.wall_seconds += time.perf_counter() - started
+        if failures:
+            self.failures.extend(failures)
+            raise SweepFailure(failures)
         return results
 
-    def _run_instrumented(self, cells: list[Cell]) -> list[RunResult]:
-        """Telemetry fallback: inline, uncached, unmemoised execution."""
+    def _run_instrumented(self, cells: list[Cell],
+                          failures: list[FailedCell]) -> list[RunResult]:
+        """Telemetry fallback: inline, uncached, unmemoised execution
+        (still under the retry policy, so faults are survivable)."""
         self.warn_telemetry_fallback()
         results = []
         for cell in cells:
-            result, seconds = _execute_cell(cell)
+            outcome = self._resolve_cell(cell_fingerprint(cell), cell,
+                                         None, None)
+            if isinstance(outcome, FailedCell):
+                failures.append(outcome)
+                results.append(None)
+                continue
+            result, seconds = outcome
             self._account_computed(result, seconds, inline=True)
             results.append(result)
         return results
 
-    def _run(self, cells: list[Cell]) -> list[RunResult]:
+    def _run(self, cells: list[Cell],
+             failures: list[FailedCell]) -> list[RunResult]:
         results: list[RunResult | None] = [None] * len(cells)
         #: fingerprint -> indices still needing a computed result.
         pending: dict[str, list[int]] = {}
@@ -218,15 +326,18 @@ class SweepExecutor:
                 continue
             known = self._lookup(fp)
             if known is not None:
+                self._mark_done(fp)
                 results[index] = known
             else:
                 pending.setdefault(fp, []).append(index)
 
-        futures: dict[str, Future] = {}
-        if self.jobs > 1 and len(pending) > 1:
-            pool = self._pool_handle()
-            futures = {fp: pool.submit(_execute_cell, cells[indices[0]])
-                       for fp, indices in pending.items()}
+        futures: dict[str, tuple[Future, ProcessPoolExecutor]] = {}
+        if self._pool_usable() and len(pending) > 1:
+            for fp, indices in pending.items():
+                submitted = self._submit(cells[indices[0]], fp, 0)
+                if submitted is None:
+                    break  # pool just died; remaining cells run inline
+                futures[fp] = submitted
 
         # Spec-less cells run while the pool churns in the background.
         for index in inline:
@@ -235,15 +346,129 @@ class SweepExecutor:
             results[index] = result
 
         for fp, indices in pending.items():
-            if fp in futures:
-                result, seconds = futures[fp].result()
-            else:
-                result, seconds = _execute_cell(cells[indices[0]])
+            future, pool = futures.pop(fp, (None, None))
+            outcome = self._resolve_cell(fp, cells[indices[0]], future,
+                                         pool)
+            if isinstance(outcome, FailedCell):
+                failures.append(outcome)
+                continue
+            result, seconds = outcome
             self._account_computed(result, seconds)
             self._store(fp, cells[indices[0]], result)
+            self._mark_done(fp)
             for index in indices:
                 results[index] = result
         return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Resilience
+    # ------------------------------------------------------------------
+    def _resolve_cell(self, fp: str | None, cell: Cell,
+                      future: Future | None,
+                      pool: ProcessPoolExecutor | None):
+        """Drive one cell through the retry policy.
+
+        Returns ``(result, seconds)`` on success or a :class:`FailedCell`
+        once the attempt budget is spent.  ``future`` is the already
+        in-flight first attempt (pooled path); retries re-submit to the
+        pool while it is healthy and drop to inline execution otherwise.
+        """
+        attempt = 0
+        while True:
+            kind = error = None
+            try:
+                if future is not None:
+                    result, seconds = future.result(
+                        timeout=self.policy.timeout_s)
+                else:
+                    result, seconds = self._attempt_inline(cell, fp,
+                                                           attempt)
+                problem = validate_result(result)
+                if problem is None:
+                    return result, seconds
+                kind, error = "corrupt", problem
+            except (FuturesTimeout, CellTimeout) as exc:
+                kind = "timeout"
+                error = str(exc) or (
+                    f"attempt exceeded {self.policy.timeout_s:g}s"
+                    if self.policy.timeout_s else "attempt timed out")
+                self.stats.timeouts += 1
+                self._obs_inc("exec.timeouts")
+            except BrokenExecutor as exc:
+                kind = "pool"
+                error = f"{type(exc).__name__}: {exc}"
+                self._note_pool_failure(pool)
+            except Exception as exc:
+                kind = "crash"
+                error = f"{type(exc).__name__}: {exc}"
+
+            attempt += 1
+            if attempt >= self.policy.attempts:
+                self.stats.failed += 1
+                self._obs_inc("exec.failed")
+                return FailedCell(
+                    fingerprint=fp or "(unfingerprintable)",
+                    workload=cell.workload.name,
+                    policy_name=cell.policy_name,
+                    attempts=attempt, kind=kind, error=error)
+            self.stats.retries += 1
+            self._obs_inc("exec.retries")
+            time.sleep(self.policy.backoff(fp or cell.policy_name,
+                                           attempt))
+            submitted = self._submit(cell, fp, attempt)
+            future, pool = submitted if submitted else (None, None)
+
+    def _submit(self, cell: Cell, fp: str | None,
+                attempt: int) -> tuple[Future, ProcessPoolExecutor] | None:
+        """Submit one attempt to the pool, or ``None`` for inline."""
+        if not self._pool_usable():
+            return None
+        try:
+            pool = self._pool_handle()
+            return pool.submit(_execute_cell, cell, fp, attempt), pool
+        except Exception:
+            self._note_pool_failure(self._pool)
+            return None
+
+    def _attempt_inline(self, cell: Cell, fp: str | None, attempt: int):
+        """One in-process attempt, under the policy timeout if set.
+
+        The timeout runs the cell on a daemon watchdog thread and
+        abandons it on expiry — the thread finishes (or sleeps out an
+        injected hang) in the background while the retry proceeds.
+        """
+        timeout = self.policy.timeout_s
+        if timeout is None:
+            return _execute_cell(cell, fp, attempt)
+        box: list = []
+
+        def target() -> None:
+            try:
+                box.append(("ok", _execute_cell(cell, fp, attempt)))
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                box.append(("err", exc))
+
+        thread = threading.Thread(
+            target=target, daemon=True,
+            name=f"repro-cell-{(fp or cell.policy_name)[:12]}")
+        thread.start()
+        thread.join(timeout)
+        if not box:
+            raise CellTimeout(f"inline attempt exceeded {timeout:g}s")
+        status, payload = box[0]
+        if status == "err":
+            raise payload
+        return payload
+
+    def _mark_done(self, fp: str) -> None:
+        if self.checkpoint is not None:
+            self.checkpoint.mark(fp)
+
+    def _obs_inc(self, name: str) -> None:
+        """Mirror a resilience event into the ambient metrics registry."""
+        telemetry = obs_runtime.active()
+        if telemetry is not None:
+            telemetry.registry.counter(name).inc()
 
     # ------------------------------------------------------------------
     # Reuse layers
@@ -256,6 +481,9 @@ class SweepExecutor:
         if self.cache is not None:
             cached = self.cache.get(fp)
             if cached is not None:
+                if self.checkpoint is not None and \
+                        self.checkpoint.was_done(fp):
+                    self.stats.resumed += 1
                 self._memo[fp] = cached
                 return cached
         return None
@@ -291,4 +519,6 @@ class SweepExecutor:
         line = f"executor[jobs={self.jobs}]: {self.stats.describe()}"
         if self.cache is not None:
             line += f"; {self.cache.describe()}"
+        if self.checkpoint is not None:
+            line += f"; {self.checkpoint.describe()}"
         return line

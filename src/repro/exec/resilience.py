@@ -1,0 +1,231 @@
+"""Per-cell execution policy, terminal failure records and checkpoints.
+
+PR 2's executor was fail-fast: one crashed worker, one hung cell or one
+SIGTERM aborted the whole sweep and discarded every completed cell that
+had not reached the disk cache.  This module supplies the pieces that
+make :class:`~repro.exec.executor.SweepExecutor` fault-tolerant:
+
+* :class:`CellPolicy` — per-attempt timeout and bounded retries with
+  exponential backoff.  The backoff jitter is *derived from the cell
+  fingerprint*, so two runs of the same sweep sleep identically:
+  resilience never introduces nondeterminism.
+* :class:`FailedCell` / :class:`SweepFailure` — a cell that exhausts its
+  retry budget becomes a terminal record instead of an exception tearing
+  down the pool; the sweep finishes (and caches) every other cell first,
+  then raises one :class:`SweepFailure` summarising the casualties.
+* :func:`validate_result` — structural sanity check on whatever comes
+  back across the process boundary, so a corrupted result is retried
+  like a crash rather than silently rendered into a table.
+* :class:`SweepCheckpoint` — an append-only journal of completed cell
+  fingerprints kept next to the run cache.  An interrupted ``--full``
+  sweep relaunched with ``--resume`` loads the journal, serves finished
+  cells from the cache and re-submits only the remainder; output stays
+  byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.sim.results import RunResult
+
+#: Default retry budget: a cell may fail twice and still succeed.
+DEFAULT_RETRIES = 2
+
+#: Default backoff base / cap (seconds) between attempts of one cell.
+DEFAULT_BACKOFF_S = 0.05
+DEFAULT_BACKOFF_CAP_S = 2.0
+
+
+class CellTimeout(RuntimeError):
+    """An attempt exceeded its :class:`CellPolicy` timeout."""
+
+
+def backoff_delay(fp: str, attempt: int,
+                  base_s: float = DEFAULT_BACKOFF_S,
+                  cap_s: float = DEFAULT_BACKOFF_CAP_S) -> float:
+    """Deterministic exponential backoff with fingerprint-derived jitter.
+
+    The delay before ``attempt`` (1-based: the first retry is attempt 1)
+    is ``min(cap, base * 2**(attempt-1))`` scaled into ``[0.5, 1.0)`` by
+    a jitter hashed from ``(fp, attempt)`` — decorrelated across cells,
+    identical across runs.
+    """
+    exp = min(cap_s, base_s * (2 ** max(attempt - 1, 0)))
+    digest = hashlib.sha256(f"{fp}:{attempt}".encode("ascii")).digest()
+    jitter = int.from_bytes(digest[:8], "big") / 2 ** 64
+    return exp * (0.5 + 0.5 * jitter)
+
+
+@dataclass(frozen=True)
+class CellPolicy:
+    """How hard the executor tries before declaring a cell dead.
+
+    Parameters
+    ----------
+    timeout_s:
+        Per-attempt wall-clock budget (``None`` = unlimited).  Pooled
+        attempts time out the future; inline attempts run on a watchdog
+        thread that is abandoned on expiry.
+    retries:
+        Failed attempts retried before the cell becomes a
+        :class:`FailedCell` (total attempts = ``retries + 1``).
+    backoff_s / backoff_cap_s:
+        Exponential backoff base and cap between attempts.
+    """
+
+    timeout_s: float | None = None
+    retries: int = DEFAULT_RETRIES
+    backoff_s: float = DEFAULT_BACKOFF_S
+    backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff_s < 0 or self.backoff_cap_s < self.backoff_s:
+            raise ValueError("need 0 <= backoff_s <= backoff_cap_s")
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts a cell is given."""
+        return self.retries + 1
+
+    def backoff(self, fp: str, attempt: int) -> float:
+        """Delay before ``attempt`` (1-based) of cell ``fp``."""
+        return backoff_delay(fp, attempt, self.backoff_s,
+                             self.backoff_cap_s)
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """Terminal record of a cell that exhausted its retry budget."""
+
+    fingerprint: str
+    workload: str
+    policy_name: str
+    attempts: int
+    kind: str  # "crash" | "timeout" | "corrupt" | "pool"
+    error: str
+
+    def describe(self) -> str:
+        return (f"{self.workload}/{self.policy_name} "
+                f"[{self.fingerprint[:12]}]: {self.kind} after "
+                f"{self.attempts} attempts: {self.error}")
+
+
+class SweepFailure(RuntimeError):
+    """One or more cells failed terminally (raised after the sweep ran
+    and cached everything else, so a relaunch only redoes the losers)."""
+
+    def __init__(self, failures: list[FailedCell]) -> None:
+        self.failures = list(failures)
+        lines = "\n  ".join(f.describe() for f in self.failures)
+        super().__init__(
+            f"{len(self.failures)} cell(s) failed terminally:\n  {lines}")
+
+
+def validate_result(result) -> str | None:
+    """Structural sanity check; returns an error string or ``None``.
+
+    Results cross a process boundary and (via the cache) a filesystem;
+    anything that is not a well-formed :class:`RunResult` is treated as
+    a failed attempt and retried rather than rendered.
+    """
+    if not isinstance(result, RunResult):
+        return f"expected RunResult, got {type(result).__name__}"
+    if result.end_time_ps < 0 or result.requests_completed < 0:
+        return (f"negative counters (end_time_ps={result.end_time_ps}, "
+                f"requests={result.requests_completed})")
+    if not result.workload or not result.policy:
+        return "missing workload/policy labels"
+    return None
+
+
+class SweepCheckpoint:
+    """Append-only journal of completed cell fingerprints.
+
+    One JSON line per completed cell, flushed on write, kept next to the
+    run cache (``<cache>/checkpoint.jsonl`` by convention).  A fresh run
+    truncates the journal; ``resume=True`` loads it instead, and the
+    executor reports cells found both here and in the cache as *resumed*.
+    Truncated trailing lines (a run killed mid-append) are ignored, so a
+    checkpoint can never make a relaunch fail — at worst one cell is
+    recomputed.
+    """
+
+    SCHEMA = 1
+
+    def __init__(self, path: str | os.PathLike,
+                 resume: bool = False) -> None:
+        self.path = Path(path)
+        self.resume = resume
+        self._done: set[str] = set()
+        self._previous: frozenset[str] = frozenset()
+        self._handle = None
+        if resume:
+            self._previous = frozenset(self._load())
+            self._done = set(self._previous)
+        else:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    def _load(self) -> set[str]:
+        done: set[str] = set()
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue  # torn tail from a killed run
+                    if isinstance(record, dict) and \
+                            record.get("schema") == self.SCHEMA and \
+                            isinstance(record.get("fp"), str):
+                        done.add(record["fp"])
+        except OSError:
+            pass
+        return done
+
+    def was_done(self, fp: str) -> bool:
+        """Whether ``fp`` completed in the interrupted run being resumed."""
+        return fp in self._previous
+
+    def __contains__(self, fp: str) -> bool:
+        return fp in self._done
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    def mark(self, fp: str) -> None:
+        """Record ``fp`` as completed (idempotent, flushed immediately)."""
+        if fp in self._done:
+            return
+        self._done.add(fp)
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps({"schema": self.SCHEMA, "fp": fp},
+                                      sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the journal file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def describe(self) -> str:
+        mode = "resume" if self.resume else "fresh"
+        return (f"checkpoint[{self.path}]: {mode} done={len(self._done)} "
+                f"previous={len(self._previous)}")

@@ -48,6 +48,81 @@ DEFAULT_REFS_PER_WINDOW = 32
 #: Default master seed.
 DEFAULT_SEED = 2025
 
+#: Valid sweep modes: the representative subset or all 22 workloads.
+MODES = ("quick", "full")
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Unified run parameters for every experiment runner.
+
+    Replaces the historical ``run(quick=True, requests_per_core=None,
+    seed=...)`` kwarg soup with one frozen record that the CLI, the
+    benchmark harness and library users all construct the same way and
+    thread through :func:`repro.experiments.registry.run_experiment`.
+
+    Parameters
+    ----------
+    mode:
+        ``"quick"`` (representative workload subset, default) or
+        ``"full"`` (all 22 workloads).
+    requests_per_core:
+        Per-core request-budget override; ``None`` uses the mode's
+        default (:data:`QUICK_REQUESTS` / :data:`FULL_REQUESTS`).
+    seed:
+        Master seed deriving every per-cell seed.
+    retries:
+        Per-cell retry budget for the sweep executor (``None`` keeps the
+        executor's default).
+    timeout_s:
+        Per-attempt wall-clock timeout in seconds (``None`` = no limit).
+    resume:
+        Resume from the sweep checkpoint next to the run cache, skipping
+        cells a previous (interrupted) run already completed.  Only
+        meaningful when a cache-backed executor is active.
+    """
+
+    mode: str = "quick"
+    requests_per_core: int | None = None
+    seed: int = DEFAULT_SEED
+    retries: int | None = None
+    timeout_s: float | None = None
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, "
+                             f"got {self.mode!r}")
+        if self.requests_per_core is not None and \
+                self.requests_per_core <= 0:
+            raise ValueError("requests_per_core must be positive")
+        if self.retries is not None and self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+    @property
+    def quick(self) -> bool:
+        """Whether this is a quick-mode (subset) run."""
+        return self.mode == "quick"
+
+    def wants_resilience(self) -> bool:
+        """Whether any executor-facing knob deviates from the default."""
+        return (self.retries is not None or self.timeout_s is not None
+                or self.resume)
+
+    def describe(self) -> str:
+        parts = [f"mode={self.mode}", f"seed={self.seed}"]
+        if self.requests_per_core is not None:
+            parts.append(f"requests_per_core={self.requests_per_core}")
+        if self.retries is not None:
+            parts.append(f"retries={self.retries}")
+        if self.timeout_s is not None:
+            parts.append(f"timeout_s={self.timeout_s:g}")
+        if self.resume:
+            parts.append("resume")
+        return " ".join(parts)
+
 
 def full_mode_enabled() -> bool:
     """Whether ``REPRO_FULL=1`` asks benches for the full sweep."""

@@ -8,14 +8,16 @@ every experiment an invocation touches.
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
+import warnings
 from typing import Callable
 
 from repro.experiments import (ablations, dos, fig5, fig9, fig10, fig11,
                                fig15, fig17, fig19, fig22, fig23,
                                motivation, table1, table3, table4, table5,
                                table6, table7)
-from repro.experiments.common import DEFAULT_SEED, ExperimentResult
+from repro.experiments.common import ExperimentResult, RunOptions
 
 ExperimentRunner = Callable[..., ExperimentResult]
 
@@ -75,19 +77,80 @@ def names() -> list[str]:
     return list(EXPERIMENTS)
 
 
-def run_experiment(name: str, quick: bool = True,
-                   seed: int = DEFAULT_SEED,
-                   requests_per_core: int | None = None
+#: Sentinel distinguishing "not passed" from explicit legacy values.
+_UNSET = object()
+
+
+def _merge_legacy(options: "RunOptions | bool | None", quick, seed,
+                  requests_per_core) -> RunOptions:
+    """Fold deprecated kwargs into a :class:`RunOptions`, warning once
+    per call.  A bare bool ``options`` is the historical positional
+    ``quick`` argument and goes through the same shim."""
+    legacy: dict = {}
+    if isinstance(options, bool):
+        legacy["mode"] = "quick" if options else "full"
+        options = None
+    if quick is not _UNSET:
+        legacy["mode"] = "quick" if quick else "full"
+    if seed is not _UNSET:
+        legacy["seed"] = seed
+    if requests_per_core is not _UNSET:
+        legacy["requests_per_core"] = requests_per_core
+    if options is None:
+        options = RunOptions()
+    if not isinstance(options, RunOptions):
+        raise TypeError(f"options must be RunOptions or None, "
+                        f"got {type(options).__name__}")
+    if legacy:
+        warnings.warn(
+            "run_experiment(quick=..., seed=..., requests_per_core=...) "
+            "is deprecated; pass run_experiment(name, RunOptions(...)) "
+            "instead",
+            DeprecationWarning, stacklevel=3)
+        options = dataclasses.replace(options, **legacy)
+    return options
+
+
+def run_experiment(name: str,
+                   options: RunOptions | None = None,
+                   *,
+                   quick=_UNSET, seed=_UNSET, requests_per_core=_UNSET
                    ) -> ExperimentResult:
     """Run one experiment through the registry.
 
-    ``requests_per_core`` overrides the per-core request budget for
-    runners that expose one (all simulation-driven experiments do);
+    ``options`` carries every run parameter (see :class:`RunOptions`).
+    ``options.requests_per_core`` overrides the per-core request budget
+    for runners that expose one (all simulation-driven experiments do);
     analytic experiments without the parameter ignore the override.
+
+    The resilience knobs (``retries``/``timeout_s``) configure the
+    ambient sweep executor when the caller activated one; with no
+    ambient executor, a private executor carrying that policy is scoped
+    around the run, so library callers get fault tolerance without
+    touching :mod:`repro.exec.runtime`.
+
+    ``quick``/``seed``/``requests_per_core`` keyword arguments are the
+    deprecated pre-``RunOptions`` surface; they still work but emit a
+    :class:`DeprecationWarning`.
     """
+    options = _merge_legacy(options, quick, seed, requests_per_core)
     runner = get(name)
-    kwargs: dict = {"quick": quick, "seed": seed}
-    if requests_per_core is not None and \
+    kwargs: dict = {"quick": options.quick, "seed": options.seed}
+    if options.requests_per_core is not None and \
             "requests_per_core" in inspect.signature(runner).parameters:
-        kwargs["requests_per_core"] = requests_per_core
+        kwargs["requests_per_core"] = options.requests_per_core
+    if options.wants_resilience():
+        from repro.exec import runtime as exec_runtime
+        if exec_runtime.active() is None:
+            from repro.exec.executor import SweepExecutor
+            from repro.exec.resilience import CellPolicy
+
+            defaults = CellPolicy()
+            policy = CellPolicy(
+                timeout_s=options.timeout_s,
+                retries=options.retries if options.retries is not None
+                else defaults.retries)
+            with SweepExecutor(policy=policy) as executor, \
+                    exec_runtime.activated(executor):
+                return runner(**kwargs)
     return runner(**kwargs)

@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 
 from repro.dram.commands import Command
+from repro.obs import runtime
 from repro.obs.journal import (RunJournal, SCHEMA_VERSION, load_journal,
                                read_journal)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
@@ -57,6 +58,7 @@ __all__ = [
     "TimelineSampler",
     "load_journal",
     "read_journal",
+    "runtime",
 ]
 
 

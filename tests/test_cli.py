@@ -5,6 +5,13 @@ import pytest
 from repro.cli import build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def _clean_environment(monkeypatch):
+    for name in ("REPRO_FULL", "REPRO_JOBS", "REPRO_CACHE_DIR",
+                 "REPRO_FAULTS"):
+        monkeypatch.delenv(name, raising=False)
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -14,11 +21,54 @@ class TestParser:
         args = build_parser().parse_args(["run", "table1"])
         assert args.experiments == ["table1"]
         assert not args.full
+        assert args.mode is None
         assert args.seed == 2025
 
     def test_run_full_flag(self):
         args = build_parser().parse_args(["run", "--full", "fig9"])
         assert args.full
+
+    def test_help_epilog_documents_env_vars(self):
+        text = build_parser().format_help()
+        for name in ("REPRO_FULL", "REPRO_JOBS", "REPRO_CACHE_DIR",
+                     "REPRO_FAULTS"):
+            assert name in text, name
+
+
+class TestModeFlags:
+    def _mode(self, *argv):
+        from repro.cli import _resolve_mode
+
+        return _resolve_mode(build_parser().parse_args(list(argv)))
+
+    def test_default_is_quick(self):
+        assert self._mode("run", "table1") == "quick"
+
+    def test_mode_flag(self):
+        assert self._mode("run", "--mode", "full", "table1") == "full"
+        assert self._mode("run", "--mode", "quick", "table1") == "quick"
+
+    def test_mode_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--mode", "fast", "table1"])
+
+    def test_full_alias_maps_to_full_with_note(self, capsys):
+        assert self._mode("run", "--full", "table1") == "full"
+        assert "--full is deprecated" in capsys.readouterr().err
+
+    def test_mode_beats_full_alias(self, capsys):
+        assert self._mode("run", "--full", "--mode", "quick",
+                          "table1") == "quick"
+
+    def test_env_default(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert self._mode("run", "table1") == "full"
+        assert self._mode("run", "--mode", "quick", "table1") == "quick"
+
+    def test_report_accepts_mode_too(self):
+        args = build_parser().parse_args(
+            ["report", "--mode", "full", "table1"])
+        assert args.mode == "full"
 
 
 class TestCommands:
@@ -174,6 +224,80 @@ class TestExecFlags:
                                 "--cache-dir", cache, "--profile")
         assert "ignoring --jobs" in err
         assert not (tmp_path / "runcache").exists()
+
+    def test_env_defaults_used_when_flags_absent(self, tmp_path,
+                                                 monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "runcache"))
+        _, err = self._run_json(capsys)
+        assert "executor[jobs=2]" in err
+        assert (tmp_path / "runcache").exists()
+
+
+class TestResilienceFlags:
+    def test_defaults_off(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.retries is None
+        assert args.timeout is None
+        assert not args.resume
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "fig9", "--retries", "4", "--timeout", "2.5",
+             "--resume", "--cache-dir", ".runcache"])
+        assert args.retries == 4
+        assert args.timeout == 2.5
+        assert args.resume
+
+    def test_resume_without_cache_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "ablation-atm", "--resume"])
+        assert excinfo.value.code == 2
+        assert "--resume needs a run cache" in capsys.readouterr().err
+
+    def _run_json(self, capsys, *flags):
+        code = main(["run", "ablation-atm", "--json",
+                     "--requests", "500", *flags])
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_injected_faults_are_retried_identically(self, monkeypatch,
+                                                     capsys):
+        code, clean, _ = self._run_json(capsys)
+        assert code == 0
+        monkeypatch.setenv("REPRO_FAULTS", "corrupt:*:1")
+        code, faulted, err = self._run_json(capsys, "--retries", "2")
+        assert code == 0
+        assert faulted == clean
+        assert "retries=10" in err
+
+    def test_failed_cells_exit_1_then_resume_recovers(self, tmp_path,
+                                                      monkeypatch,
+                                                      capsys):
+        code, clean, _ = self._run_json(capsys)
+        cache = str(tmp_path / "runcache")
+        monkeypatch.setenv("REPRO_FAULTS", "crash:*:9")
+        code, _, err = self._run_json(capsys, "--retries", "1",
+                                      "--cache-dir", cache)
+        assert code == 1
+        assert "failed terminally" in err
+        assert "rerun (with --resume)" in err
+        monkeypatch.delenv("REPRO_FAULTS")
+        code, recovered, err = self._run_json(capsys, "--cache-dir",
+                                              cache, "--resume")
+        assert code == 0
+        assert recovered == clean
+
+    def test_resume_after_clean_run_serves_checkpoint(self, tmp_path,
+                                                      capsys):
+        cache = str(tmp_path / "runcache")
+        code, cold, _ = self._run_json(capsys, "--cache-dir", cache)
+        assert code == 0
+        code, warm, err = self._run_json(capsys, "--cache-dir", cache,
+                                         "--resume")
+        assert code == 0
+        assert warm == cold
+        assert "resumed=10" in err
 
 
 class TestStats:

@@ -1,0 +1,150 @@
+"""Unit tests for deterministic fault injection (repro.exec.faults)."""
+
+import pytest
+
+from repro.exec import faults
+from repro.exec.faults import (CORRUPT_SENTINEL, DEFAULT_HANG_SECONDS,
+                               Fault, FaultError, FaultPlan,
+                               InjectedCrash)
+
+FP = "ab12cd34" + "0" * 56
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan(monkeypatch):
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    yield
+    faults.install(None)
+
+
+class TestParsing:
+    def test_single_directive(self):
+        plan = FaultPlan.parse("crash:ab12")
+        assert plan.faults == (Fault(kind="crash", selector="ab12"),)
+
+    def test_count_and_seconds(self):
+        plan = FaultPlan.parse("hang:ab:3@2.5")
+        fault = plan.faults[0]
+        assert fault.kind == "hang"
+        assert fault.count == 3
+        assert fault.seconds == 2.5
+
+    def test_multiple_directives_either_separator(self):
+        semis = FaultPlan.parse("crash:aa;corrupt:bb;abort:*:2")
+        commas = FaultPlan.parse("crash:aa,corrupt:bb,abort:*:2")
+        assert semis == commas
+        assert [f.kind for f in semis.faults] == \
+            ["crash", "corrupt", "abort"]
+
+    def test_whitespace_and_empty_pieces_tolerated(self):
+        plan = FaultPlan.parse(" crash:aa ; ; corrupt:bb ")
+        assert len(plan.faults) == 2
+
+    def test_default_hang_seconds(self):
+        assert FaultPlan.parse("hang:aa").faults[0].seconds == \
+            DEFAULT_HANG_SECONDS
+
+    @pytest.mark.parametrize("bad", [
+        "explode:aa",          # unknown kind
+        "crash",               # no selector
+        "crash:",              # empty selector
+        "crash:aa:zero",       # bad count
+        "crash:aa:0",          # count < 1
+        "crash:aa@2",          # seconds on a non-hang fault
+        "hang:aa@-1",          # non-positive seconds
+        "crash:aa:1:2",        # too many fields
+    ])
+    def test_bad_directives_raise(self, bad):
+        with pytest.raises(FaultError):
+            FaultPlan.parse(bad)
+
+    def test_describe_round_trips(self):
+        spec = "crash:ab;hang:cd:2@1.5;corrupt:*"
+        assert FaultPlan.parse(FaultPlan.parse(spec).describe()) == \
+            FaultPlan.parse(spec)
+
+
+class TestMatching:
+    def test_prefix_selector(self):
+        fault = Fault(kind="crash", selector="ab12")
+        assert fault.matches(FP, 0)
+        assert not fault.matches("ff" + FP[2:], 0)
+
+    def test_star_matches_everything(self):
+        assert Fault(kind="crash", selector="*").matches(FP, 0)
+
+    def test_count_bounds_attempts(self):
+        fault = Fault(kind="crash", selector="*", count=2)
+        assert fault.matches(FP, 0)
+        assert fault.matches(FP, 1)
+        assert not fault.matches(FP, 2)
+
+    def test_first_match_wins(self):
+        plan = FaultPlan.parse("corrupt:ab;crash:*")
+        assert plan.fault_for(FP, 0).kind == "corrupt"
+        assert plan.fault_for("ff" + FP[2:], 0).kind == "crash"
+
+    def test_no_fingerprint_never_matches(self):
+        plan = FaultPlan.parse("crash:*")
+        assert plan.fault_for(None, 0) is None
+
+
+class TestActivePlan:
+    def test_no_plan_by_default(self):
+        assert faults.active_plan() is None
+
+    def test_env_plan(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "crash:ab")
+        plan = faults.active_plan()
+        assert plan is not None
+        assert plan.faults[0].selector == "ab"
+
+    def test_installed_plan_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "crash:ab")
+        faults.install(FaultPlan.parse("corrupt:cd"))
+        assert faults.active_plan().faults[0].kind == "corrupt"
+        faults.install(None)
+        assert faults.active_plan().faults[0].kind == "crash"
+
+
+class TestInjection:
+    def test_clean_cell_is_untouched(self):
+        faults.install(FaultPlan.parse("crash:ff"))
+        assert faults.inject_before(FP, 0) is None
+
+    def test_crash_raises(self):
+        faults.install(FaultPlan.parse("crash:ab"))
+        with pytest.raises(InjectedCrash, match="injected crash"):
+            faults.inject_before(FP, 0)
+
+    def test_crash_exhausted_after_count(self):
+        faults.install(FaultPlan.parse("crash:ab:2"))
+        for attempt in (0, 1):
+            with pytest.raises(InjectedCrash):
+                faults.inject_before(FP, attempt)
+        assert faults.inject_before(FP, 2) is None
+
+    def test_corrupt_returns_the_fault(self):
+        faults.install(FaultPlan.parse("corrupt:ab"))
+        fault = faults.inject_before(FP, 0)
+        assert fault is not None and fault.kind == "corrupt"
+
+    def test_hang_sleeps_then_continues(self):
+        import time
+
+        faults.install(FaultPlan.parse("hang:ab@0.05"))
+        started = time.perf_counter()
+        assert faults.inject_before(FP, 0) is None
+        assert time.perf_counter() - started >= 0.05
+
+    def test_abort_degrades_to_crash_outside_workers(self):
+        # An abort fault in the parent process must never _exit the
+        # test runner; it raises like a crash instead.
+        faults.install(FaultPlan.parse("abort:ab"))
+        with pytest.raises(InjectedCrash, match="injected abort"):
+            faults.inject_before(FP, 0)
+
+    def test_corrupt_sentinel_is_not_a_result(self):
+        from repro.exec.resilience import validate_result
+
+        assert validate_result(CORRUPT_SENTINEL) is not None

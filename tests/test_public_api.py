@@ -6,16 +6,45 @@ cannot silently break adopters.
 """
 
 import inspect
+from pathlib import Path
 
 import pytest
 
 import repro
+
+SNAPSHOT = Path(__file__).parent / "data" / "public_api.txt"
 
 
 class TestTopLevelExports:
     def test_all_names_resolve(self):
         for name in repro.__all__:
             assert hasattr(repro, name), name
+
+    def test_all_is_sorted_and_unique(self):
+        assert list(repro.__all__) == sorted(set(repro.__all__))
+
+    def test_surface_matches_snapshot(self):
+        # The snapshot in tests/data/public_api.txt is the reviewed
+        # public surface.  A mismatch means an export was added or
+        # removed: if that is intentional, regenerate the file with
+        #   PYTHONPATH=src python -c "import repro; \
+        #       print('\n'.join(sorted(repro.__all__)))" \
+        #       > tests/data/public_api.txt
+        # and call the change out in the PR description.
+        snapshot = SNAPSHOT.read_text(encoding="utf-8").split()
+        assert sorted(repro.__all__) == snapshot, (
+            "public API drifted from tests/data/public_api.txt; "
+            "regenerate the snapshot if the change is intentional")
+
+    def test_lazy_names_listed_in_dir(self):
+        listing = dir(repro)
+        for name in ("RunOptions", "SweepExecutor", "run_experiment",
+                     "exec_runtime", "obs_runtime", "Telemetry"):
+            assert name in listing, name
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.does_not_exist
 
     def test_version(self):
         assert repro.__version__ == "1.0.0"

@@ -1,0 +1,112 @@
+"""RunOptions record + the legacy-kwargs compatibility shim."""
+
+import warnings
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.common import (DEFAULT_SEED, MODES, RunOptions)
+from repro.workloads.builder import clear_cache
+
+#: Small per-core budget for the one sim-backed equivalence check.
+BUDGET = 800
+
+
+@pytest.fixture(autouse=True)
+def _fresh_trace_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture
+def tiny_quick_subset(monkeypatch):
+    monkeypatch.setattr("repro.workloads.profiles.QUICK_SUBSET",
+                        ("blender", "add"))
+
+
+class TestRecord:
+    def test_defaults(self):
+        options = RunOptions()
+        assert options.mode == "quick"
+        assert options.quick is True
+        assert options.seed == DEFAULT_SEED
+        assert not options.wants_resilience()
+
+    def test_modes(self):
+        assert MODES == ("quick", "full")
+        assert RunOptions(mode="full").quick is False
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RunOptions().mode = "full"
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(mode="fast"),
+        dict(requests_per_core=0),
+        dict(retries=-1),
+        dict(timeout_s=0.0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RunOptions(**kwargs)
+
+    def test_resilience_knobs_detected(self):
+        assert RunOptions(retries=3).wants_resilience()
+        assert RunOptions(timeout_s=10.0).wants_resilience()
+        assert RunOptions(resume=True).wants_resilience()
+
+    def test_describe_names_the_knobs(self):
+        text = RunOptions(mode="full", retries=3).describe()
+        assert "mode=full" in text
+        assert "retries=3" in text
+
+
+class TestEquivalence:
+    def test_analytic_byte_identical(self):
+        modern = registry.run_experiment("table4", RunOptions())
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = registry.run_experiment("table4", quick=True)
+        assert legacy.to_json() == modern.to_json()
+
+    def test_simulated_byte_identical(self, tiny_quick_subset):
+        options = RunOptions(seed=11, requests_per_core=BUDGET)
+        modern = registry.run_experiment("ablation-atm", options)
+        clear_cache()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = registry.run_experiment(
+                "ablation-atm", quick=True, seed=11,
+                requests_per_core=BUDGET)
+        assert legacy.to_json() == modern.to_json()
+
+
+class TestLegacyShim:
+    def test_legacy_kwargs_warn_exactly_once(self):
+        with pytest.warns(DeprecationWarning,
+                          match="RunOptions") as record:
+            registry.run_experiment("table4", quick=True, seed=3)
+        assert len(record) == 1
+
+    def test_bool_positional_is_the_old_quick_flag(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = registry.run_experiment("table4", True)
+        modern = registry.run_experiment("table4", RunOptions())
+        assert legacy.to_json() == modern.to_json()
+
+    def test_options_record_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            registry.run_experiment("table4", RunOptions())
+
+    def test_legacy_kwargs_override_options(self):
+        with pytest.warns(DeprecationWarning):
+            merged = registry._merge_legacy(RunOptions(seed=1), quick=False,
+                                            seed=9, requests_per_core=500)
+        assert merged == RunOptions(mode="full", seed=9,
+                                    requests_per_core=500)
+
+    def test_bad_options_type_rejected(self):
+        with pytest.raises(TypeError, match="RunOptions"):
+            registry.run_experiment("table4", {"mode": "quick"})
