@@ -1,0 +1,106 @@
+"""Benchmark: telemetry overhead on the simulation hot path.
+
+Runs one fixed, fully mitigated cell (mcf under coupled MINT + DRFMsb —
+a mitigation-heavy configuration, so journal/trace recording is
+exercised, not idle) in three telemetry configurations:
+
+* **off** — no telemetry at all (the default path: one pointer check);
+* **on** — in-memory journal + timeline sampling + metrics;
+* **on+trace** — the above plus the bounded DRFM event trace.
+
+Each configuration reports the **best-of-7** engine events/sec (best,
+not mean: the minimum wall time is the cleanest estimate of the code's
+cost under benchmark noise).  Results fold into
+``results/BENCH_obs.json`` together with per-config ``overhead_pct``
+relative to the off baseline — the telemetry-on budget is <= 10 %
+events/s, tracked in the snapshot rather than asserted inline (wall
+clock timing is too noisy for a hard CI gate).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.mc.mitigation import coupled_mint_factory
+from repro.obs import Telemetry
+from repro.sim.config import SimConfig, SystemConfig
+from repro.workloads import build_traces
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+OBS_SNAPSHOT = RESULTS_DIR / "BENCH_obs.json"
+
+ROUNDS = 7
+REQUESTS = 2_000
+WORKLOAD = "mcf"
+
+
+def _telemetry(config: str) -> Telemetry | None:
+    if config == "off":
+        return None
+    return Telemetry(journal_memory=True, sample_every_refi=8,
+                     trace=(config == "on+trace"))
+
+
+def _measure(config: str) -> dict:
+    """Best-of-ROUNDS events/sec for one telemetry configuration."""
+    from repro.sim.runner import run_simulation
+
+    system = SystemConfig.baseline(refs_per_window=32)
+    sim = SimConfig(requests_per_core=REQUESTS, seed=7)
+    traces = build_traces(WORKLOAD, system, sim)
+    factory = coupled_mint_factory(500)
+
+    best_events_per_sec = 0.0
+    events = 0
+    mitigations = 0
+    for _ in range(ROUNDS):
+        telemetry = _telemetry(config)
+        started = time.perf_counter()
+        result = run_simulation(system, traces, sim, factory, "mint",
+                                telemetry=telemetry)
+        wall_s = time.perf_counter() - started
+        events = result.requests_completed
+        mitigations = result.mitigation_commands
+        best_events_per_sec = max(best_events_per_sec, events / wall_s)
+    assert mitigations > 0, "benchmark cell never mitigated"
+    return {"events_per_sec": round(best_events_per_sec),
+            "events": events, "mitigations": mitigations,
+            "rounds": ROUNDS}
+
+
+def _update_obs_snapshot(config: str, entry: dict) -> None:
+    """Read-modify-write ``BENCH_obs.json`` (mirrors BENCH_sweep.json)."""
+    snapshot: dict = {"configs": {}}
+    try:
+        snapshot = json.loads(OBS_SNAPSHOT.read_text())
+    except (OSError, ValueError):
+        pass
+    configs = snapshot.setdefault("configs", {})
+    configs[config] = entry
+    baseline = configs.get("off", {}).get("events_per_sec")
+    if baseline:
+        for name, config_entry in configs.items():
+            rate = config_entry["events_per_sec"]
+            config_entry["overhead_pct"] = \
+                round(100.0 * (baseline - rate) / baseline, 1)
+    snapshot["workload"] = WORKLOAD
+    snapshot["requests_per_core"] = REQUESTS
+    RESULTS_DIR.mkdir(exist_ok=True)
+    OBS_SNAPSHOT.write_text(json.dumps(snapshot, indent=2,
+                                       sort_keys=True) + "\n")
+
+
+@pytest.mark.benchmark(group="obs")
+@pytest.mark.parametrize("config", ["off", "on", "on+trace"])
+def test_obs_overhead(benchmark, config):
+    entry = benchmark.pedantic(_measure, args=(config,),
+                               rounds=1, iterations=1)
+    benchmark.extra_info["config"] = config
+    benchmark.extra_info["events_per_sec"] = entry["events_per_sec"]
+    _update_obs_snapshot(config, entry)
+    print(f"\n[obs] {config}: {entry['events_per_sec']:,} events/s "
+          f"(best of {ROUNDS})")

@@ -7,17 +7,21 @@ Every run writes its rendered result table to ``results/<name>.txt`` next
 to this directory so the regenerated numbers persist beyond the pytest
 output.
 
-Execution modes (mutually exclusive, because telemetry counts events
-in-process):
+Execution modes (telemetry composes with parallelism — the split below
+only picks where the events/sec accounting is read from):
 
 * **Serial (default)** — each benchmark runs under a profiling-only
   telemetry instance and reports the engine's **events/sec** from the
   throughput gauge.
 * **Parallel** — ``REPRO_JOBS=N`` (N > 1) activates a
-  :class:`repro.exec.SweepExecutor` instead: sweep cells fan out over N
-  worker processes and the aggregate events/sec comes from the
-  executor's own accounting.  ``REPRO_CACHE_DIR=DIR`` additionally
-  enables the content-addressed run cache in either mode.
+  :class:`repro.exec.SweepExecutor`: sweep cells fan out over N worker
+  processes and the aggregate events/sec comes from the executor's own
+  accounting (worker wall-clock does not fold into the parent's
+  profiler).  ``REPRO_CACHE_DIR=DIR`` additionally enables the
+  content-addressed run cache in either mode.
+
+Telemetry's *own* cost is benchmarked separately in ``bench_obs.py``,
+which writes ``results/BENCH_obs.json``.
 
 Whatever the mode, every benchmark folds its wall time, events/sec and
 jobs into ``results/BENCH_sweep.json`` — the perf-trajectory snapshot

@@ -64,7 +64,10 @@ _LAZY = {
     "SweepCheckpoint": ("repro.exec.resilience", "SweepCheckpoint"),
     "SweepExecutor": ("repro.exec.executor", "SweepExecutor"),
     "SweepFailure": ("repro.exec.resilience", "SweepFailure"),
+    "SweepProgress": ("repro.obs.progress", "SweepProgress"),
     "Telemetry": ("repro.obs", "Telemetry"),
+    "TelemetrySnapshot": ("repro.obs.snapshot", "TelemetrySnapshot"),
+    "EventTrace": ("repro.obs.trace", "EventTrace"),
     "exec_runtime": ("repro.exec.runtime", None),
     "obs_runtime": ("repro.obs.runtime", None),
     "run_experiment": ("repro.experiments.registry", "run_experiment"),
@@ -100,6 +103,7 @@ __all__ = [
     "DreamCPolicy",
     "DreamRMintPolicy",
     "DreamRParaPolicy",
+    "EventTrace",
     "ExperimentResult",
     "FailedCell",
     "FaultPlan",
@@ -118,8 +122,10 @@ __all__ = [
     "SweepCheckpoint",
     "SweepExecutor",
     "SweepFailure",
+    "SweepProgress",
     "SystemConfig",
     "Telemetry",
+    "TelemetrySnapshot",
     "WorkloadProfile",
     "__version__",
     "abacus_factory",

@@ -8,27 +8,32 @@ Subcommands:
   subset; ``--full`` is a deprecated alias).
 * ``report`` — run experiments and write a combined markdown report.
 * ``stats <journal.jsonl>`` — summarise a telemetry run journal.
+* ``trace <events.jsonl>`` — analyse a DRFM/RLP mitigation event trace.
 * ``storage <t_rh>`` — print the full-size storage comparison.
 * ``security <t_rh>`` — print the revised DREAM-R parameters.
 * ``plan <t_rh>`` — recommend a deployment for a slowdown budget.
 
 ``run`` and ``report`` accept the telemetry flags ``--journal FILE``
 (JSONL run journal), ``--metrics-out FILE`` (metrics snapshot JSON),
-``--profile`` (wall-clock phase table) and ``--sample-every N``
+``--profile`` (wall-clock phase table), ``--trace FILE`` (bounded
+mitigation event trace for ``trace``) and ``--sample-every N``
 (timeline cadence in tREFI).  Telemetry is off unless one of these is
 given, and enabling it does not change any simulated result.
 
 They also accept the sweep-execution flags ``--jobs N`` (fan simulation
 cells over N worker processes; ``0`` = all cores), ``--cache-dir DIR``
 (content-addressed run cache: warm re-runs skip simulation entirely),
-``--no-cache`` (ignore ``--cache-dir`` for one invocation) and
-``--requests N`` (per-core request-budget override for smoke runs),
-plus the resilience flags ``--retries N`` (per-cell retry budget),
-``--timeout S`` (per-attempt wall-clock limit) and ``--resume``
-(continue an interrupted sweep from the checkpoint journal next to the
-run cache).  Results are byte-identical across serial, parallel, cached
-and resumed executions; telemetry forces the serial uncached path (a
-warning is printed), see ``docs/parallel.md``.
+``--no-cache`` (ignore ``--cache-dir`` for one invocation),
+``--requests N`` (per-core request-budget override for smoke runs) and
+``--progress`` (live TTY progress line), plus the resilience flags
+``--retries N`` (per-cell retry budget), ``--timeout S`` (per-attempt
+wall-clock limit) and ``--resume`` (continue an interrupted sweep from
+the checkpoint journal next to the run cache).  Results are
+byte-identical across serial, parallel, cached and resumed executions,
+and telemetry composes with all of them: cells capture per-cell
+snapshots that are merged deterministically in cell order, so the
+merged metrics/journal outputs are byte-identical too (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -71,7 +76,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _build_telemetry(args: argparse.Namespace):
     """Construct a Telemetry from CLI flags, or ``None`` if all are off."""
-    if not (args.journal or args.metrics_out or args.profile):
+    if not (args.journal or args.metrics_out or args.profile
+            or args.trace):
         return None
     from repro.obs import Telemetry
     from repro.obs.timeline import DEFAULT_SAMPLE_EVERY_REFI
@@ -79,19 +85,31 @@ def _build_telemetry(args: argparse.Namespace):
     sample_every = args.sample_every or DEFAULT_SAMPLE_EVERY_REFI
     return Telemetry(journal_path=args.journal,
                      sample_every_refi=sample_every,
-                     profile=args.profile)
+                     profile=args.profile,
+                     trace=bool(args.trace))
 
 
 def _emit_telemetry(args: argparse.Namespace, telemetry) -> None:
-    """Finalize telemetry: journal close, metrics dump, profile print."""
+    """Finalize telemetry: journal close, metrics dump, profile print.
+
+    File-written notices go to stderr so stdout stays pure data
+    (``--json`` output must be byte-comparable across runs whose
+    telemetry files merely have different names).
+    """
     if telemetry is None:
         return
     telemetry.finalize()
     if args.metrics_out:
         telemetry.write_metrics(args.metrics_out)
-        print(f"metrics written to {args.metrics_out}")
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     if args.journal:
-        print(f"journal written to {args.journal}")
+        print(f"journal written to {args.journal}", file=sys.stderr)
+    if args.trace:
+        telemetry.trace.write_jsonl(args.trace)
+        suffix = f" ({telemetry.trace.dropped} dropped at capacity)" \
+            if telemetry.trace.dropped else ""
+        print(f"trace written to {args.trace} "
+              f"({len(telemetry.trace)} events){suffix}", file=sys.stderr)
     if args.profile:
         print()
         print("== wall-clock profile ==")
@@ -125,13 +143,12 @@ def _build_executor(args: argparse.Namespace,
     """Construct a SweepExecutor from CLI flags, or ``None`` if all off.
 
     Flags beat the ``REPRO_JOBS``/``REPRO_CACHE_DIR`` environment
-    defaults.  Telemetry wins over parallelism/caching (counting events
-    across worker processes or past a cache hit would under-report):
-    when both are requested the executor flags are dropped with a loud
-    warning.  The resilience flags (``--retries``/``--timeout``) do not
-    conflict with telemetry — the serial instrumented path still runs
-    under the retry policy.
+    defaults.  Telemetry composes with every executor feature: cells
+    capture per-cell snapshots (in workers, inline, or replayed from
+    the cache's telemetry artifacts) that merge deterministically in
+    cell order — ``telemetry`` is accepted only for interface symmetry.
     """
+    del telemetry  # telemetry no longer constrains execution
     jobs_flag = args.jobs if args.jobs is not None else _env_jobs()
     jobs = jobs_flag if jobs_flag is not None else 1
     if jobs == 0:
@@ -145,27 +162,27 @@ def _build_executor(args: argparse.Namespace,
               "REPRO_CACHE_DIR) holding the interrupted sweep's results",
               file=sys.stderr)
         raise SystemExit(2)
-    if telemetry is not None and (jobs > 1 or cache is not None):
-        print("[repro.exec] telemetry flags given: ignoring --jobs/"
-              "--cache-dir and running serial, uncached "
-              "(see docs/parallel.md)", file=sys.stderr)
-        jobs, cache = 1, None
     defaults = CellPolicy()
     policy = CellPolicy(
         timeout_s=args.timeout,
         retries=args.retries if args.retries is not None
         else defaults.retries)
-    wants_resilience = (args.retries is not None or
-                        args.timeout is not None or args.resume)
+    wants_executor = (args.retries is not None or
+                      args.timeout is not None or args.resume or
+                      args.progress)
     if jobs == 1 and cache is None and jobs_flag is None and \
-            not wants_resilience:
+            not wants_executor:
         return None
     checkpoint = None
     if cache is not None:
         checkpoint = SweepCheckpoint(cache.checkpoint_path(),
                                      resume=args.resume)
+    progress = None
+    if args.progress:
+        from repro.obs.progress import SweepProgress
+        progress = SweepProgress()
     return SweepExecutor(jobs=jobs, cache=cache, policy=policy,
-                         checkpoint=checkpoint)
+                         checkpoint=checkpoint, progress=progress)
 
 
 def _emit_executor(executor: SweepExecutor | None) -> None:
@@ -276,11 +293,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
-    from repro.analysis.charts import bar_chart
+def _load_journal_or_die(path: str) -> list[dict]:
+    """Load a journal file, exiting 2 with a clear message on failure."""
     from repro.obs.journal import load_journal
 
-    records = load_journal(args.journal)
+    try:
+        return load_journal(path)
+    except OSError as error:
+        print(f"error: cannot read journal {path}: {error}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    except ValueError as error:
+        print(f"error: {path} is not a valid JSONL journal: {error}",
+              file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.charts import bar_chart
+
+    records = _load_journal_or_die(args.journal)
     if not records:
         print(f"{args.journal}: empty journal")
         return 1
@@ -353,6 +385,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.trace import analyze_trace, render_trace
+
+    records = _load_journal_or_die(args.trace)
+    summaries = analyze_trace(records)
+    if not any(summary.events for summary in summaries.values()):
+        print(f"{args.trace}: no mitigation events "
+              f"(run with --journal or --trace on a mitigated design)")
+        return 1
+    print(render_trace(summaries, width=args.width))
+    return 0
+
+
 def _cmd_storage(args: argparse.Namespace) -> int:
     comparison = compare_storage(args.t_rh)
     print(f"T_RH = {comparison.t_rh}")
@@ -410,6 +455,10 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
                         help="resume an interrupted sweep from the "
                              "checkpoint journal next to the run cache "
                              "(requires --cache-dir)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live sweep progress line on stderr (TTY); "
+                             "mirrored into exec.progress.* metrics "
+                             "elsewhere")
 
 
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
@@ -419,6 +468,9 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
                         help="write a metrics snapshot (JSON)")
     parser.add_argument("--profile", action="store_true",
                         help="print wall-clock phase timings")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write a bounded JSONL mitigation event "
+                             "trace for the `trace` subcommand")
     parser.add_argument("--sample-every", type=int, metavar="N",
                         help="timeline sampling period in tREFI "
                              "(default 8)")
@@ -474,6 +526,15 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument("--max-runs", type=int, default=24,
                               help="list at most this many run summaries")
     stats_parser.set_defaults(func=_cmd_stats)
+
+    trace_parser = sub.add_parser(
+        "trace", help="analyse a DRFM/RLP mitigation event trace "
+                      "(journal or --trace output, JSONL)")
+    trace_parser.add_argument("trace",
+                              help="journal / event-trace file to read")
+    trace_parser.add_argument("--width", type=int, default=40,
+                              help="histogram bar width in columns")
+    trace_parser.set_defaults(func=_cmd_trace)
 
     storage_parser = sub.add_parser("storage",
                                     help="storage comparison at a threshold")

@@ -3,11 +3,15 @@
 One :class:`~repro.sim.results.RunResult` per entry, addressed by the
 cell fingerprint of :mod:`repro.exec.fingerprint`.  Layout::
 
-    <root>/<fp[:2]>/<fp>.json
+    <root>/<fp[:2]>/<fp>.json          # the result entry
+    <root>/<fp[:2]>/<fp>.obs.json     # optional telemetry artifact
 
 Each entry stores the schema version, its own fingerprint, the decoded
 cell key (purely for human debugging — ``get`` never trusts it) and the
-result's constructor fields.  Guarantees:
+result's constructor fields.  The telemetry artifact (written only when
+the cell executed under telemetry capture) holds the cell's
+:class:`~repro.obs.snapshot.TelemetrySnapshot` so a warm hit can replay
+the cell's telemetry instead of silently eliding it.  Guarantees:
 
 * **Writes are atomic** (temp file + ``os.replace``), so a killed run
   never leaves a half-written entry behind.
@@ -29,6 +33,8 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.exec.fingerprint import CACHE_SCHEMA_VERSION
+from repro.obs.snapshot import (TelemetrySnapshot, snapshot_from_doc,
+                                snapshot_to_doc)
 from repro.sim.results import RunResult
 
 _RESULT_FIELDS = frozenset(
@@ -60,6 +66,10 @@ class RunCache:
         """Entry path for ``fingerprint`` (two-level fan-out)."""
         return self.root / fingerprint[:2] / f"{fingerprint}.json"
 
+    def telemetry_path_for(self, fingerprint: str) -> Path:
+        """Telemetry-artifact path for ``fingerprint``."""
+        return self.root / fingerprint[:2] / f"{fingerprint}.obs.json"
+
     def checkpoint_path(self) -> Path:
         """Conventional location of the sweep checkpoint journal.
 
@@ -74,6 +84,32 @@ class RunCache:
     # ------------------------------------------------------------------
     def get(self, fingerprint: str) -> RunResult | None:
         """The cached result, or ``None`` on miss/corruption."""
+        result = self._load_result(fingerprint)
+        if result is None:
+            return None
+        self.stats.hits += 1
+        return result
+
+    def get_with_telemetry(self, fingerprint: str) \
+            -> tuple[RunResult, TelemetrySnapshot] | None:
+        """Result *plus* its replayable telemetry snapshot, or ``None``.
+
+        A hit requires both halves: an entry without a (valid) telemetry
+        artifact is a miss, so a cache populated without telemetry never
+        silently serves telemetry-blind results to an instrumented run —
+        the cell recomputes and stores the artifact for next time.
+        """
+        result = self._load_result(fingerprint)
+        if result is None:
+            return None
+        snapshot = self._load_telemetry(fingerprint)
+        if snapshot is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result, snapshot
+
+    def _load_result(self, fingerprint: str) -> RunResult | None:
         path = self.path_for(fingerprint)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -86,8 +122,27 @@ class RunCache:
         result = self._decode(entry, fingerprint)
         if result is None:
             return self._discard_corrupt(path)
-        self.stats.hits += 1
         return result
+
+    def _load_telemetry(self, fingerprint: str) \
+            -> TelemetrySnapshot | None:
+        """Decode the telemetry artifact (no hit/miss accounting)."""
+        path = self.telemetry_path_for(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            return self._discard_corrupt_artifact(path)
+        if not isinstance(entry, dict) \
+                or entry.get("schema") != CACHE_SCHEMA_VERSION \
+                or entry.get("fingerprint") != fingerprint:
+            return self._discard_corrupt_artifact(path)
+        snapshot = snapshot_from_doc(entry.get("snapshot"))
+        if snapshot is None:
+            return self._discard_corrupt_artifact(path)
+        return snapshot
 
     def _decode(self, entry, fingerprint: str) -> RunResult | None:
         if not isinstance(entry, dict):
@@ -115,6 +170,16 @@ class RunCache:
             pass
         return None
 
+    def _discard_corrupt_artifact(self, path: Path) -> None:
+        """Count and delete a corrupt telemetry artifact (no miss —
+        the caller accounts the lookup as a whole)."""
+        self.stats.corrupt += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
     # ------------------------------------------------------------------
     # Store
     # ------------------------------------------------------------------
@@ -125,20 +190,43 @@ class RunCache:
         ``key`` is the canonical cell-key document; it is stored verbatim
         so a human can ``cat`` an entry and see what produced it.
         """
-        path = self.path_for(fingerprint)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
             "schema": CACHE_SCHEMA_VERSION,
             "fingerprint": fingerprint,
             "key": key or {},
             "result": dataclasses.asdict(result),
         }
+        self._write_atomic(self.path_for(fingerprint), fingerprint, entry)
+        self.stats.stores += 1
+
+    def put_telemetry(self, fingerprint: str,
+                      snapshot: TelemetrySnapshot) -> None:
+        """Atomically persist a cell's telemetry snapshot artifact.
+
+        Stored beside the result entry and versioned/addressed the same
+        way; not counted as a separate store (it is a sidecar of the
+        entry written by :meth:`put`).
+        """
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "snapshot": snapshot_to_doc(snapshot),
+        }
+        # No sort_keys here: journal records inside the snapshot must
+        # round-trip with their key order intact so a replayed record
+        # serialises byte-identically to its original emission.
+        self._write_atomic(self.telemetry_path_for(fingerprint),
+                           fingerprint, entry, sort_keys=False)
+
+    def _write_atomic(self, path: Path, fingerprint: str,
+                      entry: dict, sort_keys: bool = True) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
         handle = tempfile.NamedTemporaryFile(
             "w", encoding="utf-8", dir=path.parent,
             prefix=f".{fingerprint[:8]}.", suffix=".tmp", delete=False)
         try:
             with handle:
-                json.dump(entry, handle, sort_keys=True)
+                json.dump(entry, handle, sort_keys=sort_keys)
                 handle.write("\n")
             os.replace(handle.name, path)
         except BaseException:
@@ -147,7 +235,6 @@ class RunCache:
             except OSError:
                 pass
             raise
-        self.stats.stores += 1
 
     def describe(self) -> str:
         """One-line summary (root plus hit/miss counters)."""

@@ -39,12 +39,16 @@ closure) cannot cross a process boundary or be fingerprinted; they are
 executed inline in the parent and never cached — correct, just without
 the speedups.
 
-Telemetry (:mod:`repro.obs`) counts simulator events in-process and
-journals every run, which a worker pool would split across processes and
-a cache hit would elide entirely.  The executor therefore refuses to
-parallelise or cache while ambient telemetry is active: it falls back to
-inline execution (still under the retry policy) and warns once on stderr
-(see ``docs/parallel.md``).
+Telemetry (:mod:`repro.obs`) composes with every layer above.  When
+ambient telemetry is active the executor ships a picklable
+:class:`~repro.obs.snapshot.CaptureSpec` with each cell; the cell
+records into a private in-memory telemetry (worker- or parent-side) and
+returns a :class:`~repro.obs.snapshot.TelemetrySnapshot` alongside its
+result.  Snapshots ride the memo, are persisted as content-addressed
+artifacts next to the cache entry (replayed on warm hits), and are
+merged into the ambient telemetry in cell submission order — so serial,
+parallel, cached and resumed sweeps produce byte-identical merged
+metrics and journals (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -64,9 +68,12 @@ from repro.exec.fingerprint import (FingerprintError, canonical,
                                     fingerprint)
 from repro.exec.resilience import (CellPolicy, CellTimeout, FailedCell,
                                    SweepCheckpoint, SweepFailure,
-                                   validate_result)
+                                   validate_result, validate_snapshot)
 from repro.exec.spec import PolicySpec
 from repro.obs import runtime as obs_runtime
+from repro.obs.progress import SweepProgress
+from repro.obs.snapshot import (CaptureSpec, TelemetrySnapshot,
+                                capture_snapshot, merge_snapshot)
 from repro.sim.config import SimConfig, SystemConfig
 from repro.sim.results import RunResult
 from repro.workloads.profiles import WorkloadProfile
@@ -119,13 +126,17 @@ def _worker_init() -> None:
     faults.mark_worker()
 
 
-def _execute_cell(cell: Cell, fp: str | None = None,
-                  attempt: int = 0) -> tuple[RunResult | object, float]:
+def _execute_cell(cell: Cell, fp: str | None = None, attempt: int = 0,
+                  capture: CaptureSpec | None = None) \
+        -> tuple[RunResult | object, float, TelemetrySnapshot | None]:
     """Run one cell to completion (worker- and parent-side entry point).
 
-    Returns the result plus the engine wall-seconds (excluding trace
-    building), which feed the executor's aggregate events/sec figure.
-    ``fp``/``attempt`` key deterministic fault injection
+    Returns the result, the engine wall-seconds (excluding trace
+    building — they feed the executor's aggregate events/sec figure),
+    and — when ``capture`` is given — the cell's telemetry snapshot.
+    The capture telemetry is private to this call and passed explicitly,
+    so an ambient parent telemetry can never double-count an inline
+    cell.  ``fp``/``attempt`` key deterministic fault injection
     (:mod:`repro.exec.faults`); with no plan active they are inert.
     """
     from repro.sim.runner import run_simulation
@@ -133,12 +144,23 @@ def _execute_cell(cell: Cell, fp: str | None = None,
 
     corrupt = faults.inject_before(fp, attempt)
     if corrupt is not None:
-        return faults.CORRUPT_SENTINEL, 0.0
-    traces = build_traces(cell.workload, cell.trace_system, cell.sim)
+        return faults.CORRUPT_SENTINEL, 0.0, None
+    if capture is None:
+        traces = build_traces(cell.workload, cell.trace_system, cell.sim)
+        started = time.perf_counter()
+        result = run_simulation(cell.run_system, traces, cell.sim,
+                                cell.policy, cell.policy_name)
+        return result, time.perf_counter() - started, None
+    local = capture.build()
+    with local.phase("build_traces"):
+        traces = build_traces(cell.workload, cell.trace_system, cell.sim)
     started = time.perf_counter()
-    result = run_simulation(cell.run_system, traces, cell.sim,
-                            cell.policy, cell.policy_name)
-    return result, time.perf_counter() - started
+    with local.phase(f"run:{cell.policy_name}"):
+        result = run_simulation(cell.run_system, traces, cell.sim,
+                                cell.policy, cell.policy_name,
+                                telemetry=local)
+    seconds = time.perf_counter() - started
+    return result, seconds, capture_snapshot(local)
 
 
 @dataclass
@@ -199,6 +221,10 @@ class SweepExecutor:
         Optional :class:`SweepCheckpoint` journalling completed cell
         fingerprints; pair it with ``cache`` so a resumed run can serve
         the journalled cells without recomputation.
+    progress:
+        Optional :class:`~repro.obs.progress.SweepProgress` fed with
+        cell-level events (submitted / hit / resumed / computed /
+        retried / failed) for live reporting.
     """
 
     #: Pool breakages tolerated before degrading to serial execution.
@@ -206,20 +232,24 @@ class SweepExecutor:
 
     def __init__(self, jobs: int = 1, cache: RunCache | None = None,
                  policy: CellPolicy | None = None,
-                 checkpoint: SweepCheckpoint | None = None) -> None:
+                 checkpoint: SweepCheckpoint | None = None,
+                 progress: SweepProgress | None = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = cache
         self.policy = policy if policy is not None else CellPolicy()
         self.checkpoint = checkpoint
+        self.progress = progress
         self.stats = ExecutorStats()
         self.failures: list[FailedCell] = []
-        self._memo: dict[str, RunResult] = {}
+        #: fingerprint -> (result, snapshot-or-None); snapshots are kept
+        #: so a memo hit under telemetry can replay the cell's capture.
+        self._memo: dict[str, tuple[RunResult,
+                                    TelemetrySnapshot | None]] = {}
         self._pool: ProcessPoolExecutor | None = None
         self._pool_breaks = 0
         self._pool_disabled = False
-        self._warned_telemetry = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -281,41 +311,40 @@ class SweepExecutor:
         in one :class:`SweepFailure` raised *after* every other cell has
         completed and been cached/checkpointed, so a relaunch — with
         ``--resume`` or a warm cache — redoes only the losers.
+
+        With ambient telemetry active, every cell additionally captures
+        a :class:`TelemetrySnapshot` (in the worker, inline, or replayed
+        from memo/cache) and the snapshots are merged into the ambient
+        telemetry here, in submission order — one merged run per cell
+        occurrence, whatever the execution mode.
         """
         started = time.perf_counter()
         self.stats.cells += len(cells)
         failures: list[FailedCell] = []
-        if obs_runtime.active() is not None:
-            results = self._run_instrumented(cells, failures)
-        else:
-            results = self._run(cells, failures)
+        telemetry = obs_runtime.active()
+        capture = CaptureSpec.from_telemetry(telemetry) \
+            if telemetry is not None else None
+        if self.progress is not None:
+            self.progress.add_cells(len(cells))
+        try:
+            results, snaps = self._run(cells, failures, capture)
+        finally:
+            if self.progress is not None:
+                self.progress.finish()
+        if telemetry is not None:
+            for snap in snaps:
+                if snap is not None:
+                    merge_snapshot(telemetry, snap)
         self.stats.wall_seconds += time.perf_counter() - started
         if failures:
             self.failures.extend(failures)
             raise SweepFailure(failures)
         return results
 
-    def _run_instrumented(self, cells: list[Cell],
-                          failures: list[FailedCell]) -> list[RunResult]:
-        """Telemetry fallback: inline, uncached, unmemoised execution
-        (still under the retry policy, so faults are survivable)."""
-        self.warn_telemetry_fallback()
-        results = []
-        for cell in cells:
-            outcome = self._resolve_cell(cell_fingerprint(cell), cell,
-                                         None, None)
-            if isinstance(outcome, FailedCell):
-                failures.append(outcome)
-                results.append(None)
-                continue
-            result, seconds = outcome
-            self._account_computed(result, seconds, inline=True)
-            results.append(result)
-        return results
-
-    def _run(self, cells: list[Cell],
-             failures: list[FailedCell]) -> list[RunResult]:
+    def _run(self, cells: list[Cell], failures: list[FailedCell],
+             capture: CaptureSpec | None):
         results: list[RunResult | None] = [None] * len(cells)
+        snaps: list[TelemetrySnapshot | None] = [None] * len(cells)
         #: fingerprint -> indices still needing a computed result.
         pending: dict[str, list[int]] = {}
         inline: list[int] = []
@@ -324,68 +353,76 @@ class SweepExecutor:
             if fp is None:
                 inline.append(index)
                 continue
-            known = self._lookup(fp)
+            known = self._lookup(fp, capture)
             if known is not None:
                 self._mark_done(fp)
-                results[index] = known
+                results[index], snaps[index] = known
             else:
                 pending.setdefault(fp, []).append(index)
 
         futures: dict[str, tuple[Future, ProcessPoolExecutor]] = {}
         if self._pool_usable() and len(pending) > 1:
             for fp, indices in pending.items():
-                submitted = self._submit(cells[indices[0]], fp, 0)
+                submitted = self._submit(cells[indices[0]], fp, 0, capture)
                 if submitted is None:
                     break  # pool just died; remaining cells run inline
                 futures[fp] = submitted
 
         # Spec-less cells run while the pool churns in the background.
         for index in inline:
-            result, seconds = _execute_cell(cells[index])
+            result, seconds, snap = _execute_cell(cells[index],
+                                                  capture=capture)
             self._account_computed(result, seconds, inline=True)
             results[index] = result
+            snaps[index] = snap
 
         for fp, indices in pending.items():
             future, pool = futures.pop(fp, (None, None))
             outcome = self._resolve_cell(fp, cells[indices[0]], future,
-                                         pool)
+                                         pool, capture)
             if isinstance(outcome, FailedCell):
                 failures.append(outcome)
                 continue
-            result, seconds = outcome
+            result, seconds, snap = outcome
             self._account_computed(result, seconds)
-            self._store(fp, cells[indices[0]], result)
+            self._store(fp, cells[indices[0]], result, snap)
             self._mark_done(fp)
             for index in indices:
                 results[index] = result
-        return results  # type: ignore[return-value]
+                snaps[index] = snap
+        return results, snaps
 
     # ------------------------------------------------------------------
     # Resilience
     # ------------------------------------------------------------------
     def _resolve_cell(self, fp: str | None, cell: Cell,
                       future: Future | None,
-                      pool: ProcessPoolExecutor | None):
+                      pool: ProcessPoolExecutor | None,
+                      capture: CaptureSpec | None = None):
         """Drive one cell through the retry policy.
 
-        Returns ``(result, seconds)`` on success or a :class:`FailedCell`
-        once the attempt budget is spent.  ``future`` is the already
-        in-flight first attempt (pooled path); retries re-submit to the
-        pool while it is healthy and drop to inline execution otherwise.
+        Returns ``(result, seconds, snapshot)`` on success or a
+        :class:`FailedCell` once the attempt budget is spent.  ``future``
+        is the already in-flight first attempt (pooled path); retries
+        re-submit to the pool while it is healthy and drop to inline
+        execution otherwise.  Under telemetry capture, a structurally
+        missing snapshot is treated exactly like a corrupt result.
         """
         attempt = 0
         while True:
             kind = error = None
             try:
                 if future is not None:
-                    result, seconds = future.result(
+                    result, seconds, snap = future.result(
                         timeout=self.policy.timeout_s)
                 else:
-                    result, seconds = self._attempt_inline(cell, fp,
-                                                           attempt)
+                    result, seconds, snap = self._attempt_inline(
+                        cell, fp, attempt, capture)
                 problem = validate_result(result)
+                if problem is None and capture is not None:
+                    problem = validate_snapshot(snap)
                 if problem is None:
-                    return result, seconds
+                    return result, seconds, snap
                 kind, error = "corrupt", problem
             except (FuturesTimeout, CellTimeout) as exc:
                 kind = "timeout"
@@ -406,6 +443,7 @@ class SweepExecutor:
             if attempt >= self.policy.attempts:
                 self.stats.failed += 1
                 self._obs_inc("exec.failed")
+                self._progress("failed")
                 return FailedCell(
                     fingerprint=fp or "(unfingerprintable)",
                     workload=cell.workload.name,
@@ -413,24 +451,28 @@ class SweepExecutor:
                     attempts=attempt, kind=kind, error=error)
             self.stats.retries += 1
             self._obs_inc("exec.retries")
+            self._progress("retried")
             time.sleep(self.policy.backoff(fp or cell.policy_name,
                                            attempt))
-            submitted = self._submit(cell, fp, attempt)
+            submitted = self._submit(cell, fp, attempt, capture)
             future, pool = submitted if submitted else (None, None)
 
-    def _submit(self, cell: Cell, fp: str | None,
-                attempt: int) -> tuple[Future, ProcessPoolExecutor] | None:
+    def _submit(self, cell: Cell, fp: str | None, attempt: int,
+                capture: CaptureSpec | None = None) \
+            -> tuple[Future, ProcessPoolExecutor] | None:
         """Submit one attempt to the pool, or ``None`` for inline."""
         if not self._pool_usable():
             return None
         try:
             pool = self._pool_handle()
-            return pool.submit(_execute_cell, cell, fp, attempt), pool
+            return pool.submit(_execute_cell, cell, fp, attempt,
+                               capture), pool
         except Exception:
             self._note_pool_failure(self._pool)
             return None
 
-    def _attempt_inline(self, cell: Cell, fp: str | None, attempt: int):
+    def _attempt_inline(self, cell: Cell, fp: str | None, attempt: int,
+                        capture: CaptureSpec | None = None):
         """One in-process attempt, under the policy timeout if set.
 
         The timeout runs the cell on a daemon watchdog thread and
@@ -439,12 +481,13 @@ class SweepExecutor:
         """
         timeout = self.policy.timeout_s
         if timeout is None:
-            return _execute_cell(cell, fp, attempt)
+            return _execute_cell(cell, fp, attempt, capture)
         box: list = []
 
         def target() -> None:
             try:
-                box.append(("ok", _execute_cell(cell, fp, attempt)))
+                box.append(("ok", _execute_cell(cell, fp, attempt,
+                                                capture)))
             except BaseException as exc:  # noqa: BLE001 — re-raised below
                 box.append(("err", exc))
 
@@ -470,28 +513,54 @@ class SweepExecutor:
         if telemetry is not None:
             telemetry.registry.counter(name).inc()
 
+    def _progress(self, kind: str, seconds: float | None = None) -> None:
+        if self.progress is not None:
+            self.progress.record(kind, seconds)
+
     # ------------------------------------------------------------------
     # Reuse layers
     # ------------------------------------------------------------------
-    def _lookup(self, fp: str) -> RunResult | None:
-        known = self._memo.get(fp)
-        if known is not None:
-            self.stats.memo_hits += 1
-            return known
+    def _lookup(self, fp: str, capture: CaptureSpec | None = None) \
+            -> tuple[RunResult, TelemetrySnapshot | None] | None:
+        """Serve ``fp`` from memo or cache.
+
+        Under telemetry capture a known result only counts when its
+        snapshot is also available (memoised or as the cache's telemetry
+        artifact) — otherwise the cell recomputes so the merged
+        telemetry stays complete.  Without capture, any stored snapshot
+        is withheld from the return value so nothing gets merged.
+        """
+        entry = self._memo.get(fp)
+        if entry is not None:
+            result, snap = entry
+            if capture is None or snap is not None:
+                self.stats.memo_hits += 1
+                self._progress("hit")
+                return result, (snap if capture is not None else None)
         if self.cache is not None:
-            cached = self.cache.get(fp)
+            if capture is not None:
+                cached = self.cache.get_with_telemetry(fp)
+            else:
+                plain = self.cache.get(fp)
+                cached = None if plain is None else (plain, None)
             if cached is not None:
-                if self.checkpoint is not None and \
-                        self.checkpoint.was_done(fp):
+                result, snap = cached
+                resumed = self.checkpoint is not None and \
+                    self.checkpoint.was_done(fp)
+                if resumed:
                     self.stats.resumed += 1
-                self._memo[fp] = cached
-                return cached
+                self._progress("resumed" if resumed else "hit")
+                self._memo[fp] = (result, snap)
+                return result, snap
         return None
 
-    def _store(self, fp: str, cell: Cell, result: RunResult) -> None:
-        self._memo[fp] = result
+    def _store(self, fp: str, cell: Cell, result: RunResult,
+               snap: TelemetrySnapshot | None = None) -> None:
+        self._memo[fp] = (result, snap)
         if self.cache is not None:
             self.cache.put(fp, result, key=canonical(cell.key()))
+            if snap is not None:
+                self.cache.put_telemetry(fp, snap)
 
     def _account_computed(self, result: RunResult, seconds: float,
                           inline: bool = False) -> None:
@@ -500,20 +569,11 @@ class SweepExecutor:
             self.stats.inline += 1
         self.stats.engine_events += result.requests_completed
         self.stats.engine_seconds += seconds
+        self._progress("computed", seconds)
 
     # ------------------------------------------------------------------
     # Diagnostics
     # ------------------------------------------------------------------
-    def warn_telemetry_fallback(self) -> None:
-        """Print the serial-telemetry warning once per executor."""
-        if self._warned_telemetry:
-            return
-        self._warned_telemetry = True
-        if self.jobs > 1 or self.cache is not None:
-            print("[repro.exec] telemetry is active: falling back to "
-                  "serial, uncached execution (see docs/parallel.md)",
-                  file=sys.stderr)
-
     def describe(self) -> str:
         """One-line executor + cache summary for end-of-run reporting."""
         line = f"executor[jobs={self.jobs}]: {self.stats.describe()}"

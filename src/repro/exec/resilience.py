@@ -147,6 +147,21 @@ def validate_result(result) -> str | None:
     return None
 
 
+def validate_snapshot(snapshot) -> str | None:
+    """Structural check of a cell's telemetry snapshot.
+
+    Under telemetry capture every successful attempt must also deliver a
+    :class:`~repro.obs.snapshot.TelemetrySnapshot`; anything else (a
+    worker that lost it, a mangled pickle) is treated like a corrupt
+    result and retried.
+    """
+    from repro.obs.snapshot import TelemetrySnapshot
+    if not isinstance(snapshot, TelemetrySnapshot):
+        return (f"expected TelemetrySnapshot, got "
+                f"{type(snapshot).__name__}")
+    return None
+
+
 class SweepCheckpoint:
     """Append-only journal of completed cell fingerprints.
 

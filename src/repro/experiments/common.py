@@ -22,18 +22,14 @@ from __future__ import annotations
 
 import json
 import os
-from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.analysis.slowdown import SlowdownSeries
 from repro.exec import runtime as exec_runtime
 from repro.exec.executor import Cell, SweepExecutor
 from repro.mc.policy import PolicyFactory
-from repro.obs import runtime as obs_runtime
 from repro.sim.config import SimConfig, SystemConfig
 from repro.sim.results import ComparisonResult
-from repro.sim.runner import run_simulation
-from repro.workloads.builder import build_traces
 from repro.workloads.profiles import WorkloadProfile, profiles_for
 
 #: Default per-core request budget in quick / full mode.
@@ -221,15 +217,6 @@ def _fmt(value) -> str:
     return str(value)
 
 
-def _phase(name: str):
-    """Wall-clock phase timer when ambient telemetry is active, else a
-    no-op context manager (the disabled-path guard for experiments)."""
-    telemetry = obs_runtime.active()
-    if telemetry is None:
-        return nullcontext()
-    return telemetry.phase(name)
-
-
 def sweep_cells(designs: list[DesignSpec],
                 system: SystemConfig,
                 sim: SimConfig,
@@ -262,18 +249,14 @@ def sweep_designs(designs: list[DesignSpec],
     :class:`~repro.exec.SweepExecutor` when one is activated
     (``repro.exec.runtime``), which brings cross-experiment baseline
     sharing, the run cache and ``--jobs N`` fan-out; otherwise a private
-    serial executor reproduces the historical behaviour.  When ambient
-    telemetry is active the sweep instead runs the fully instrumented
-    serial loop (phase timers, per-run journal records) — parallelism
-    and caching would drop telemetry events, see ``docs/parallel.md``.
+    serial executor reproduces the historical behaviour.  Ambient
+    telemetry (``repro.obs.runtime``) composes with all of it: each cell
+    captures its telemetry where it executes and the executor merges the
+    snapshots deterministically in cell order (see
+    ``docs/observability.md``).
     """
     if workloads is None:
         workloads = profiles_for(quick=quick)
-    if obs_runtime.active() is not None:
-        executor = exec_runtime.active()
-        if executor is not None:
-            executor.warn_telemetry_fallback()
-        return _sweep_instrumented(designs, system, sim, workloads)
     executor = exec_runtime.active()
     if executor is None:
         executor = SweepExecutor()
@@ -285,28 +268,6 @@ def sweep_designs(designs: list[DesignSpec],
         baseline = next(cursor)
         for spec in designs:
             series[spec.name].add(ComparisonResult(baseline, next(cursor)))
-    return series
-
-
-def _sweep_instrumented(designs: list[DesignSpec],
-                        system: SystemConfig,
-                        sim: SimConfig,
-                        workloads: list[WorkloadProfile]
-                        ) -> dict[str, SlowdownSeries]:
-    """Serial sweep with full telemetry (phases, journal, timeline)."""
-    series = {spec.name: SlowdownSeries(spec.name) for spec in designs}
-    for workload in workloads:
-        with _phase("build_traces"):
-            traces = build_traces(workload, system, sim)
-        with _phase("run:baseline"):
-            baseline = run_simulation(system, traces, sim)
-        for spec in designs:
-            target_system = spec.system if spec.system is not None else \
-                system
-            with _phase(f"run:{spec.name}"):
-                mitigated = run_simulation(target_system, traces, sim,
-                                           spec.factory, spec.name)
-            series[spec.name].add(ComparisonResult(baseline, mitigated))
     return series
 
 

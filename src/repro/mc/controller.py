@@ -96,6 +96,10 @@ class SubChannelController:
         """Stall one bank (used for ABO-style MC back-off)."""
         self.subchannel.banks[bank].block_until(until_ps)
 
+    def valid_dar_count(self) -> int:
+        """How many DARs currently hold a sampled row."""
+        return self.subchannel.valid_dar_count()
+
     # ------------------------------------------------------------------
     # Request service
     # ------------------------------------------------------------------

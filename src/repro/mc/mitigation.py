@@ -6,6 +6,12 @@ whose overheads the paper's Figure 5 quantifies and DREAM-R then
 improves.  The policy base classes live in :mod:`repro.mc.policy`; the
 decoupled DREAM designs live in :mod:`repro.core.dream_r` and
 :mod:`repro.core.dream_c`.
+
+Every issued command routes through
+:meth:`~repro.mc.policy.MitigationPolicy.record_event`, so these designs
+are fully visible to the event-trace surface: ``repro trace`` renders
+their per-command RLP histograms and DAR-occupancy summaries, which the
+aggregate checks in :mod:`repro.analysis.rlp` cross-validate.
 """
 
 from __future__ import annotations

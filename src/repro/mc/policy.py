@@ -55,6 +55,10 @@ class MitigationPort(Protocol):
         """Stall ``bank`` until ``until_ps`` (ABO-style MC back-off)."""
         ...
 
+    def valid_dar_count(self) -> int:
+        """How many of the sub-channel's DARs currently hold a row."""
+        ...
+
 
 @dataclass(frozen=True)
 class PolicyContext:
@@ -124,11 +128,18 @@ class MitigationPolicy(abc.ABC):
 
         Every concrete policy routes its executed mitigation events
         through here, which makes this the single chokepoint where the
-        observability layer sees mitigations regardless of design.
+        observability layer sees mitigations regardless of design.  The
+        telemetry record also captures the DAR occupancy at issue time
+        (how many DARs held a valid row when the command went out),
+        which the ``repro trace`` analyzer summarises per design.
         """
         self.stats.record_event(event)
-        if self.telemetry is not None:
-            self.telemetry.mitigation(self.name, event)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            valid_dars = getattr(self.port, "valid_dar_count", None)
+            telemetry.mitigation(
+                self.name, event,
+                valid_dars() if valid_dars is not None else 0)
 
     @abc.abstractmethod
     def before_activate(self, bank: int, row: int, now_ps: int) -> bool:

@@ -15,17 +15,30 @@ The facade wires four independent pieces together:
 * :mod:`repro.obs.journal`   — schema-versioned JSONL run journal
   (file-backed or in-memory);
 * :mod:`repro.obs.profiling` — wall-clock phase timers and the engine
-  events/sec throughput gauge.
+  events/sec throughput gauge;
+* :mod:`repro.obs.trace`     — bounded structured trace of mitigation
+  events (analysed by ``repro trace``);
+* :mod:`repro.obs.snapshot`  — picklable per-cell snapshots plus the
+  deterministic cross-process merge used by ``repro.exec``;
+* :mod:`repro.obs.progress`  — TTY-aware live sweep progress reporter.
 
 Telemetry never perturbs simulation results: it only reads simulator
 state and maintains its own side structures, so identical seeds produce
 identical :class:`~repro.sim.results.RunResult`\\ s with telemetry on or
 off (enforced by ``tests/test_obs_determinism.py``).
+
+Telemetry composes with parallel and cached execution: workers capture
+per-cell :class:`~repro.obs.snapshot.TelemetrySnapshot`\\ s which the
+parent merges deterministically in cell submission order, so serial,
+``--jobs N``, warm-cache and ``--resume`` sweeps produce byte-identical
+merged metrics and journals (``tests/test_obs_parallel.py``).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 
 from repro.dram.commands import Command
 from repro.obs import runtime
@@ -37,11 +50,20 @@ from repro.obs.profiling import (PhaseTimer, Profiler, Stopwatch,
                                  ThroughputGauge)
 from repro.obs.timeline import (DEFAULT_SAMPLE_EVERY_REFI, TimelineSample,
                                 TimelineSampler)
+from repro.obs.trace import DEFAULT_TRACE_LIMIT, EventTrace
+from repro.obs.snapshot import (CaptureSpec, SNAPSHOT_SCHEMA_VERSION,
+                                TelemetrySnapshot, capture_snapshot,
+                                merge_snapshot, snapshot_from_doc,
+                                snapshot_to_doc)
+from repro.obs.progress import SweepProgress
 
 __all__ = [
+    "CaptureSpec",
     "Command",
     "Counter",
     "DEFAULT_SAMPLE_EVERY_REFI",
+    "DEFAULT_TRACE_LIMIT",
+    "EventTrace",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -50,15 +72,22 @@ __all__ = [
     "RLP_BUCKETS",
     "RunJournal",
     "SCHEMA_VERSION",
+    "SNAPSHOT_SCHEMA_VERSION",
     "Stopwatch",
     "SubchannelTelemetry",
+    "SweepProgress",
     "Telemetry",
+    "TelemetrySnapshot",
     "ThroughputGauge",
     "TimelineSample",
     "TimelineSampler",
+    "capture_snapshot",
     "load_journal",
+    "merge_snapshot",
     "read_journal",
     "runtime",
+    "snapshot_from_doc",
+    "snapshot_to_doc",
 ]
 
 
@@ -70,14 +99,15 @@ class SubchannelTelemetry:
     attached) one JSONL record.
     """
 
-    __slots__ = ("index", "journal", "mitigations", "rows_mitigated",
-                 "rlp_hist", "drfm_sb", "drfm_ab", "nrr")
+    __slots__ = ("index", "journal", "trace", "mitigations",
+                 "rows_mitigated", "rlp_hist", "drfm_sb", "drfm_ab", "nrr")
 
     def __init__(self, telemetry: "Telemetry", index: int) -> None:
         registry = telemetry.registry
         prefix = f"mc.sc{index}."
         self.index = index
         self.journal = telemetry.journal
+        self.trace = telemetry.trace
         self.mitigations = registry.counter(prefix + "mitigations")
         self.rows_mitigated = registry.counter(prefix + "rows_mitigated")
         self.rlp_hist = registry.histogram(prefix + "rlp")
@@ -85,7 +115,8 @@ class SubchannelTelemetry:
         self.drfm_ab = registry.counter(prefix + "drfm_ab_issued")
         self.nrr = registry.counter(prefix + "nrr_issued")
 
-    def mitigation(self, policy_name: str, event) -> None:
+    def mitigation(self, policy_name: str, event,
+                   valid_dars: int = 0) -> None:
         """Record one executed mitigation command (a MitigationEvent)."""
         rlp = event.rlp
         self.mitigations.inc()
@@ -98,12 +129,17 @@ class SubchannelTelemetry:
             self.drfm_ab.inc()
         elif command is Command.NRR:
             self.nrr.inc()
-        if self.journal is not None:
-            self.journal.write(
-                "mitigation", sc=self.index, t_ps=event.time_ps,
-                cmd=command.value, policy=policy_name,
-                bank=event.trigger_bank, blocked=event.blocked_banks,
-                rlp=rlp)
+        if self.journal is not None or self.trace is not None:
+            record = {"v": SCHEMA_VERSION, "kind": "mitigation",
+                      "sc": self.index, "t_ps": event.time_ps,
+                      "cmd": command.value, "policy": policy_name,
+                      "bank": event.trigger_bank,
+                      "blocked": event.blocked_banks,
+                      "rlp": rlp, "dars": valid_dars}
+            if self.journal is not None:
+                self.journal.append_record(record)
+            if self.trace is not None:
+                self.trace.record(record)
 
 
 class Telemetry:
@@ -122,13 +158,22 @@ class Telemetry:
     profile:
         Whether the caller intends to render wall-clock profiling; phase
         timers are always maintained (they are per-run, not per-event),
-        the flag only gates reporting.
+        the flag only gates reporting (including the journal's closing
+        ``profile`` record — wall-clock is nondeterministic, so it only
+        enters the journal on request).
+    trace:
+        Keep a bounded :class:`~repro.obs.trace.EventTrace` of
+        individual mitigation events for the ``repro trace`` analyzer.
+    trace_limit:
+        Event capacity of that trace.
     """
 
     def __init__(self, journal_path: str | None = None,
                  journal_memory: bool = False,
                  sample_every_refi: int = DEFAULT_SAMPLE_EVERY_REFI,
-                 profile: bool = False) -> None:
+                 profile: bool = False,
+                 trace: bool = False,
+                 trace_limit: int = DEFAULT_TRACE_LIMIT) -> None:
         self.registry = MetricsRegistry()
         self.journal: RunJournal | None = None
         if journal_path is not None:
@@ -139,6 +184,8 @@ class Telemetry:
                                         journal=self.journal)
         self.profiler = Profiler()
         self.profile = profile
+        self.trace: EventTrace | None = \
+            EventTrace(trace_limit) if trace else None
         self.run_index = -1
         self._channels: dict[int, SubchannelTelemetry] = {}
         self._finalized = False
@@ -169,13 +216,17 @@ class Telemetry:
                                workload=workload, policy=policy, seed=seed)
 
     def end_run(self, result, events: int, seconds: float) -> None:
-        """Fold one completed run into throughput, gauges and journal."""
+        """Fold one completed run into throughput, counters and journal.
+
+        Wall-clock quantities go to the profiler only — the counters
+        and the journal's ``summary`` record carry exclusively simulated
+        numbers, so merged journals and the ``metrics`` section stay
+        byte-identical across serial/parallel/cached execution.
+        """
         self.profiler.throughput.record(events, seconds)
         registry = self.registry
         registry.counter("sim.runs").inc()
         registry.counter("sim.requests").inc(events)
-        registry.gauge("sim.events_per_sec").set(
-            self.profiler.throughput.events_per_sec)
         if self.journal is not None:
             self.journal.write(
                 "summary", run=self.run_index, workload=result.workload,
@@ -186,26 +237,61 @@ class Telemetry:
                 mitigations=result.mitigation_commands,
                 rows_mitigated=result.rows_mitigated,
                 rlp=round(result.average_rlp, 3),
-                bus_utilization=round(result.bus_utilization, 4),
-                wall_seconds=round(seconds, 6))
+                bus_utilization=round(result.bus_utilization, 4))
+
+    def absorb(self, snapshot: TelemetrySnapshot) -> None:
+        """Merge one cell's captured snapshot into this telemetry."""
+        merge_snapshot(self, snapshot)
 
     # ------------------------------------------------------------------
     # Output
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """Registry plus profiler state as one JSON-serialisable dict."""
+        """Registry plus profiler state as one JSON-serialisable dict.
+
+        The ``metrics`` section holds only deterministic, simulated-time
+        instruments; execution-side counters (``exec.*`` — retries,
+        cache traffic, progress events) are split into ``exec`` and
+        wall-clock figures into ``profiling``, so ``metrics`` can be
+        compared byte-for-byte across execution modes.
+        """
+        metrics = {}
+        executor = {}
+        for name, value in self.registry.snapshot().items():
+            if name.startswith("exec."):
+                executor[name] = value
+            else:
+                metrics[name] = value
         return {
             "schema_version": SCHEMA_VERSION,
-            "metrics": self.registry.snapshot(),
+            "metrics": metrics,
+            "exec": executor,
             "profiling": self.profiler.snapshot(),
             "timeline_samples": len(self.timeline.samples),
         }
 
     def write_metrics(self, path: str) -> None:
-        """Dump :meth:`snapshot` as pretty-printed JSON to ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        """Dump :meth:`snapshot` as pretty JSON to ``path``, atomically.
+
+        Temp file + ``os.replace`` (the :class:`RunCache` pattern), so a
+        killed run never leaves a half-written metrics file behind.
+        """
+        directory = os.path.dirname(os.path.abspath(path))
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=directory,
+            prefix=".metrics.", suffix=".tmp", delete=False)
+        try:
+            with handle:
+                json.dump(self.snapshot(), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
 
     def finalize(self) -> None:
         """Write the closing profile record and close the journal."""
@@ -213,7 +299,7 @@ class Telemetry:
             return
         self._finalized = True
         if self.journal is not None:
-            if self.profiler.phases.seconds:
+            if self.profile and self.profiler.phases.seconds:
                 self.journal.write("profile",
                                    **self.profiler.snapshot())
             self.journal.close()

@@ -8,7 +8,7 @@ and a record kind (``"kind"``); the kinds the simulator emits are:
 * ``sample``     — one per timeline-sampler tick (per sub-channel
   interval deltas, see :mod:`repro.obs.timeline`);
 * ``mitigation`` — one per mitigation command any policy issues
-  (command, trigger bank, realised RLP);
+  (command, trigger bank, realised RLP, valid DAR count at issue);
 * ``summary``    — one per completed run (the
   :class:`~repro.sim.results.RunResult` headline numbers);
 * ``profile``    — wall-clock phase timings when profiling is enabled.
@@ -47,6 +47,16 @@ class RunJournal:
         """Append one record of ``kind``; returns the record written."""
         record = {"v": SCHEMA_VERSION, "kind": kind}
         record.update(payload)
+        return self.append_record(record)
+
+    def append_record(self, record: dict) -> dict:
+        """Append one pre-built record verbatim (no re-stamping).
+
+        Used when replaying records captured elsewhere — e.g. merging a
+        worker's :class:`~repro.obs.snapshot.TelemetrySnapshot` — where
+        the record already carries ``v``/``kind`` and must serialise
+        byte-identically to its original emission.
+        """
         if self._handle is not None:
             self._handle.write(json.dumps(record, default=_jsonify))
             self._handle.write("\n")

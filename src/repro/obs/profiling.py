@@ -67,6 +67,13 @@ class PhaseTimer:
         """Accumulated seconds of one phase (0.0 if never entered)."""
         return self.seconds.get(name, 0.0)
 
+    def absorb(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot`-shaped dict into this timer."""
+        for name, entry in snapshot.items():
+            self.seconds[name] = self.seconds.get(name, 0.0) \
+                + entry["seconds"]
+            self.calls[name] = self.calls.get(name, 0) + entry["calls"]
+
     def reset(self) -> None:
         self.seconds.clear()
         self.calls.clear()
@@ -103,6 +110,13 @@ class ThroughputGauge:
         self.events += events
         self.seconds += seconds
         self.intervals += 1
+
+    def absorb(self, events: int, seconds: float,
+               intervals: int) -> None:
+        """Fold another gauge's accumulated totals into this one."""
+        self.events += events
+        self.seconds += seconds
+        self.intervals += intervals
 
     @property
     def events_per_sec(self) -> float:

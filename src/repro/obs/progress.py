@@ -1,0 +1,119 @@
+"""Live sweep progress reporting (opt-in via ``--progress``).
+
+The executor feeds one :class:`SweepProgress` with cell-level events —
+submitted, cache hit, resumed, computed, retried, failed — and the
+reporter renders a single self-overwriting status line on a TTY:
+
+    [repro.exec] 14/24 cells  computed=8 hits=5 resumed=1 retried=2  eta 12s
+
+ETA comes from an exponentially-weighted moving average of per-cell
+wall seconds (computed cells only — hits are effectively free), times
+the number of outstanding cells; it is deliberately a rough, cheap
+figure.
+
+Rendering is **TTY-aware**: when the stream is not a terminal (CI logs,
+pipes) nothing is printed at all — instead every event mirrors into the
+ambient obs metrics registry as ``exec.progress.*`` counters, so
+non-interactive runs still expose progress through ``--metrics-out``.
+Those counters are execution-side quantities and live in the ``exec``
+section of the metrics dump, outside the deterministic ``metrics``
+section (a warm-cache run legitimately has different hit counts).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs import runtime as obs_runtime
+
+#: Completion event kinds (each advances the done count by one cell).
+_DONE_KINDS = ("computed", "hit", "resumed")
+
+#: All event kinds the reporter understands.
+KINDS = _DONE_KINDS + ("retried", "failed")
+
+#: EWMA smoothing factor for per-cell wall seconds.
+EWMA_ALPHA = 0.3
+
+
+class SweepProgress:
+    """TTY-aware live progress over the cells of a sweep."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        isatty = getattr(self.stream, "isatty", None)
+        self.interactive = bool(isatty()) if isatty is not None else False
+        self.total = 0
+        self.done = 0
+        self.counts: dict[str, int] = {kind: 0 for kind in KINDS}
+        self.ewma_s: float | None = None
+        self._dirty = False
+        self._last_width = 0
+
+    # ------------------------------------------------------------------
+    # Event feed (called by SweepExecutor)
+    # ------------------------------------------------------------------
+    def add_cells(self, count: int) -> None:
+        """Announce ``count`` more cells entering the sweep."""
+        self.total += count
+        self._mirror("submitted", count)
+        self._render()
+
+    def record(self, kind: str, seconds: float | None = None) -> None:
+        """Record one cell event; ``seconds`` feeds the ETA EWMA."""
+        if kind not in KINDS:
+            raise ValueError(f"unknown progress event kind: {kind!r}")
+        self.counts[kind] += 1
+        if kind in _DONE_KINDS:
+            self.done += 1
+        if seconds is not None:
+            if self.ewma_s is None:
+                self.ewma_s = seconds
+            else:
+                self.ewma_s += EWMA_ALPHA * (seconds - self.ewma_s)
+        self._mirror(kind, 1)
+        self._render()
+
+    def finish(self) -> None:
+        """Terminate a pending status line (idempotent)."""
+        if self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Derived state / rendering
+    # ------------------------------------------------------------------
+    @property
+    def eta_s(self) -> float | None:
+        """Estimated seconds to completion (``None`` before any timing)."""
+        if self.ewma_s is None:
+            return None
+        return self.ewma_s * max(0, self.total - self.done)
+
+    def describe(self) -> str:
+        """The current status line (without carriage control)."""
+        parts = [f"[repro.exec] {self.done}/{self.total} cells"]
+        shown = "  ".join(f"{kind}={count}"
+                          for kind, count in self.counts.items() if count)
+        if shown:
+            parts.append(shown)
+        eta = self.eta_s
+        if eta is not None and self.done < self.total:
+            parts.append(f"eta {eta:.0f}s")
+        return "  ".join(parts)
+
+    def _render(self) -> None:
+        if not self.interactive:
+            return
+        line = self.describe()
+        padding = " " * max(0, self._last_width - len(line))
+        self.stream.write("\r" + line + padding)
+        self.stream.flush()
+        self._last_width = len(line)
+        self._dirty = True
+
+    def _mirror(self, kind: str, amount: int) -> None:
+        telemetry = obs_runtime.active()
+        if telemetry is not None:
+            telemetry.registry.counter(f"exec.progress.{kind}").inc(amount)

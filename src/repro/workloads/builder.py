@@ -59,14 +59,19 @@ def _generate_all(workload: WorkloadProfile, system: SystemConfig,
 def calibrate_gap_ps(workload: WorkloadProfile, system: SystemConfig,
                      seed: int) -> int:
     """Pilot-calibrated think gap for ``workload`` on ``system``."""
+    from repro.obs import runtime as obs_runtime
     from repro.sim.runner import run_simulation
 
     gap_pilot = estimate_gap_ps(workload, system)
     traces = _generate_all(workload, system, PILOT_REQUESTS, seed,
                            gap_pilot)
-    pilot = run_simulation(system, traces,
-                           SimConfig(requests_per_core=PILOT_REQUESTS,
-                                     seed=seed))
+    # The pilot is a calibration internal, not a simulated result: it
+    # must never reach ambient telemetry, or merged metrics would depend
+    # on where (parent vs worker) and whether (trace-cache hit) it ran.
+    with obs_runtime.activated(None):
+        pilot = run_simulation(system, traces,
+                               SimConfig(requests_per_core=PILOT_REQUESTS,
+                                         seed=seed))
     if pilot.end_time_ps <= 0:
         return gap_pilot
     rate_pilot = pilot.requests_completed / pilot.end_time_ps

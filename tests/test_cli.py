@@ -137,15 +137,18 @@ class TestTelemetryFlags:
         assert args.journal is None
         assert args.metrics_out is None
         assert not args.profile
+        assert args.trace is None
         assert args.sample_every is None
 
     def test_flags_parse(self):
         args = build_parser().parse_args(
             ["run", "fig9", "--journal", "j.jsonl", "--metrics-out",
-             "m.json", "--profile", "--sample-every", "4"])
+             "m.json", "--profile", "--trace", "t.jsonl",
+             "--sample-every", "4"])
         assert args.journal == "j.jsonl"
         assert args.metrics_out == "m.json"
         assert args.profile
+        assert args.trace == "t.jsonl"
         assert args.sample_every == 4
 
     def test_report_accepts_flags_too(self):
@@ -176,15 +179,17 @@ class TestExecFlags:
         assert args.cache_dir is None
         assert not args.no_cache
         assert args.requests is None
+        assert not args.progress
 
     def test_flags_parse(self):
         args = build_parser().parse_args(
             ["run", "fig9", "--jobs", "4", "--cache-dir", ".runcache",
-             "--no-cache", "--requests", "500"])
+             "--no-cache", "--requests", "500", "--progress"])
         assert args.jobs == 4
         assert args.cache_dir == ".runcache"
         assert args.no_cache
         assert args.requests == 500
+        assert args.progress
 
     def test_report_accepts_flags_too(self):
         args = build_parser().parse_args(
@@ -218,12 +223,21 @@ class TestExecFlags:
         self._run_json(capsys, "--cache-dir", cache, "--no-cache")
         assert not (tmp_path / "runcache").exists()
 
-    def test_telemetry_wins_over_executor_flags(self, tmp_path, capsys):
+    def test_telemetry_composes_with_executor_flags(self, tmp_path,
+                                                    capsys):
+        plain, _ = self._run_json(capsys)
         cache = str(tmp_path / "runcache")
-        _, err = self._run_json(capsys, "--jobs", "2",
-                                "--cache-dir", cache, "--profile")
-        assert "ignoring --jobs" in err
-        assert not (tmp_path / "runcache").exists()
+        out, err = self._run_json(capsys, "--jobs", "2",
+                                  "--cache-dir", cache, "--profile")
+        assert "ignoring --jobs" not in err
+        assert "executor[jobs=2]" in err
+        assert (tmp_path / "runcache").exists()
+        # Simulated results are untouched by telemetry capture; the JSON
+        # block precedes the profile table in stdout.
+        assert out.startswith(plain)
+        # Telemetry artifacts land next to the cached result entries.
+        artifacts = list((tmp_path / "runcache").rglob("*.obs.json"))
+        assert len(artifacts) == 10
 
     def test_env_defaults_used_when_flags_absent(self, tmp_path,
                                                  monkeypatch, capsys):
@@ -352,3 +366,76 @@ class TestStats:
         assert main(["stats", path, "--max-runs", "2"]) == 0
         out = capsys.readouterr().out
         assert "(+3 more runs" in out
+
+    def test_missing_journal_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stats", str(tmp_path / "nope.jsonl")])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "cannot read journal" in err
+        assert "Traceback" not in err
+
+    def test_truncated_journal_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"v": 1, "kind": "run_start"}\n{"v": 1, "ki')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stats", str(path)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "not a valid JSONL journal" in err
+        assert "Traceback" not in err
+
+
+class TestTrace:
+    @pytest.fixture
+    def journal_path(self, tmp_path):
+        from repro.obs.journal import RunJournal
+
+        path = str(tmp_path / "run.jsonl")
+        with RunJournal(path) as journal:
+            journal.write("run_start", run=0, workload="mcf",
+                          policy="mint-dream-r", seed=7)
+            journal.write("sample", sc=0, tick=0, acts=100,
+                          rmaq_hits=4, rmaq_skips=1)
+            journal.write("mitigation", sc=0, t_ps=100,
+                          cmd="DRFMsb", policy="mint-dream-r", bank=0,
+                          blocked=4, rlp=3, dars=2)
+            journal.write("mitigation", sc=0, t_ps=200,
+                          cmd="DRFMsb", policy="mint-dream-r", bank=1,
+                          blocked=4, rlp=5, dars=4)
+        return path
+
+    def test_renders_summary(self, journal_path, capsys):
+        assert main(["trace", journal_path]) == 0
+        out = capsys.readouterr().out
+        assert "== policy: mint-dream-r ==" in out
+        assert "DRFMsb=2" in out
+        assert "rlp: mean=4.000" in out
+        assert "rlp<=4" in out and "overflow" in out
+        assert "DAR occupancy" in out
+        assert "RMAQ: hits=4 skips=1" in out
+
+    def test_no_mitigations_exits_1(self, tmp_path, capsys):
+        from repro.obs.journal import RunJournal
+
+        path = str(tmp_path / "quiet.jsonl")
+        with RunJournal(path) as journal:
+            journal.write("run_start", run=0, workload="w",
+                          policy="none", seed=1)
+        assert main(["trace", path]) == 1
+        assert "no mitigation events" in capsys.readouterr().out
+
+    def test_missing_trace_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", str(tmp_path / "nope.jsonl")])
+        assert excinfo.value.code == 2
+        assert "cannot read journal" in capsys.readouterr().err
+
+    def test_cli_trace_flag_roundtrip(self, tmp_path, capsys):
+        trace = str(tmp_path / "events.jsonl")
+        assert main(["run", "ablation-atm", "--json",
+                     "--requests", "500", "--trace", trace]) == 0
+        err = capsys.readouterr().err
+        assert f"trace written to {trace}" in err
+        assert main(["trace", trace]) == 0
+        assert "== policy:" in capsys.readouterr().out

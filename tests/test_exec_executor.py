@@ -196,40 +196,72 @@ class TestReuse:
         assert _series_json(recovered) == _series_json(reference)
 
 
-class TestTelemetryFallback:
-    def test_telemetry_forces_inline_uncached(self, tmp_path, capsys,
-                                              small_system, small_sim,
-                                              designs, workloads):
-        telemetry = Telemetry(profile=True)
-        with SweepExecutor(jobs=2, cache=RunCache(tmp_path)) as executor:
-            with obs_runtime.activated(telemetry):
-                series = _sweep(designs, small_system, small_sim,
-                                workloads, executor)
-        assert executor.cache.stats.stores == 0
-        assert "telemetry is active" in capsys.readouterr().err
-        assert list(tmp_path.iterdir()) == []
-        assert "para" in series
+class TestTelemetryCapture:
+    def _instrumented(self, designs, small_system, small_sim, workloads,
+                      executor=None):
+        telemetry = Telemetry(journal_memory=True)
+        with obs_runtime.activated(telemetry):
+            series = _sweep(designs, small_system, small_sim, workloads,
+                            executor)
+        return series, telemetry
 
-    def test_telemetry_fallback_matches_plain_results(self, small_system,
-                                                      small_sim, designs,
-                                                      workloads):
+    def test_parallel_cached_sweep_stores_artifacts(self, tmp_path,
+                                                    small_system,
+                                                    small_sim, designs,
+                                                    workloads):
+        with SweepExecutor(jobs=2, cache=RunCache(tmp_path)) as executor:
+            series, telemetry = self._instrumented(
+                designs, small_system, small_sim, workloads, executor)
+        assert executor.cache.stats.stores == 3
+        assert len(list(tmp_path.rglob("*.obs.json"))) == 3
+        assert "para" in series
+        assert telemetry.registry.counter("sim.runs").value == 3
+
+    def test_parallel_results_match_plain(self, small_system, small_sim,
+                                          designs, workloads):
         plain = _sweep(designs, small_system, small_sim, workloads)
-        telemetry = Telemetry(profile=True)
         with SweepExecutor(jobs=2) as executor:
-            with obs_runtime.activated(telemetry):
-                instrumented = _sweep(designs, small_system, small_sim,
-                                      workloads, executor)
+            instrumented, _ = self._instrumented(
+                designs, small_system, small_sim, workloads, executor)
         assert _series_json(instrumented) == _series_json(plain)
 
-    def test_warning_printed_once(self, capsys):
-        executor = SweepExecutor(jobs=2)
-        executor.warn_telemetry_fallback()
-        executor.warn_telemetry_fallback()
-        assert capsys.readouterr().err.count("telemetry is active") == 1
+    def test_merged_telemetry_identical_across_modes(self, tmp_path,
+                                                     small_system,
+                                                     small_sim, designs,
+                                                     workloads):
+        def merged(executor=None):
+            _, telemetry = self._instrumented(
+                designs, small_system, small_sim, workloads, executor)
+            snapshot = telemetry.snapshot()
+            return (json.dumps(snapshot["metrics"], sort_keys=True),
+                    json.dumps(telemetry.journal.records, default=str))
 
-    def test_plain_serial_executor_never_warns(self, capsys):
-        SweepExecutor().warn_telemetry_fallback()
-        assert capsys.readouterr().err == ""
+        serial = merged()
+        with SweepExecutor(jobs=2) as pooled:
+            parallel = merged(pooled)
+        with SweepExecutor(cache=RunCache(tmp_path)) as cold_exec:
+            cold = merged(cold_exec)
+        with SweepExecutor(cache=RunCache(tmp_path)) as warm_exec:
+            warm = merged(warm_exec)
+        assert warm_exec.stats.computed == 0
+        assert parallel == serial
+        assert cold == serial
+        assert warm == serial
+
+    def test_cache_without_artifact_recomputes(self, tmp_path,
+                                               small_system, small_sim,
+                                               designs, workloads):
+        # Populate the cache with a telemetry-blind run...
+        with SweepExecutor(cache=RunCache(tmp_path)) as blind:
+            _sweep(designs, small_system, small_sim, workloads, blind)
+        assert not list(tmp_path.rglob("*.obs.json"))
+        # ...then an instrumented run must recompute (and backfill).
+        with SweepExecutor(cache=RunCache(tmp_path)) as warm:
+            _, telemetry = self._instrumented(
+                designs, small_system, small_sim, workloads, warm)
+        assert warm.stats.computed == 3
+        assert len(list(tmp_path.rglob("*.obs.json"))) == 3
+        assert telemetry.registry.counter("sim.runs").value == 3
 
 
 class TestRuntime:

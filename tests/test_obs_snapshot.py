@@ -1,0 +1,206 @@
+"""Unit tests for per-cell telemetry snapshots and the merge layer.
+
+The contract under test: :func:`capture_snapshot` freezes everything a
+cell's telemetry observed, :func:`merge_snapshot` folds it into a parent
+deterministically (counters sum, gauges last-write-wins, histograms
+merge element-wise, journal runs remap), and the snapshot itself is
+never mutated so a memoised cell can be replayed any number of times.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.obs.snapshot import (CaptureSpec, SNAPSHOT_SCHEMA_VERSION,
+                                TelemetrySnapshot, capture_snapshot,
+                                merge_snapshot, snapshot_from_doc,
+                                snapshot_to_doc)
+from repro.obs.timeline import TimelineSample
+
+
+def _capture(fill) -> TelemetrySnapshot:
+    telemetry = Telemetry(journal_memory=True)
+    fill(telemetry)
+    return capture_snapshot(telemetry)
+
+
+def _sample(time_ps: int, tick: int = 0,
+            subchannel: int = 0) -> TimelineSample:
+    return TimelineSample(subchannel=subchannel, tick=tick,
+                          time_ps=time_ps, ref_index=tick,
+                          activations=1, row_hits=1, row_conflicts=0,
+                          row_hit_rate=1.0, samples=0,
+                          mitigation_commands=0, mitigated_rows=0,
+                          rlp=0.0, selections=0, rmaq_hits=0,
+                          rmaq_skips=0, open_banks=0, valid_dars=0,
+                          queue_depth=0)
+
+
+class TestCaptureSpec:
+    def test_from_telemetry_copies_sampling_period(self):
+        telemetry = Telemetry(sample_every_refi=3)
+        spec = CaptureSpec.from_telemetry(telemetry)
+        assert spec.sample_every_refi == 3
+
+    def test_build_makes_in_memory_capture(self):
+        local = CaptureSpec(sample_every_refi=5).build()
+        assert local.journal is not None
+        assert local.journal.path is None
+        assert local.timeline.sample_every_refi == 5
+
+
+class TestMergeMetrics:
+    def test_counters_sum(self):
+        snap = _capture(lambda t: t.registry.counter("sim.runs").inc(2))
+        parent = Telemetry()
+        parent.registry.counter("sim.runs").inc(5)
+        merge_snapshot(parent, snap)
+        assert parent.registry.counter("sim.runs").value == 7
+
+    def test_gauges_last_write_wins(self):
+        first = _capture(lambda t: t.registry.gauge("g").set(1.0))
+        second = _capture(lambda t: t.registry.gauge("g").set(9.0))
+        parent = Telemetry()
+        merge_snapshot(parent, first)
+        merge_snapshot(parent, second)
+        assert parent.registry.gauge("g").value == 9.0
+
+    def test_histograms_merge_elementwise(self):
+        def fill(telemetry):
+            hist = telemetry.registry.histogram("h", (1, 2))
+            hist.observe(1)
+            hist.observe(2)
+            hist.observe(99)
+
+        snap = _capture(fill)
+        parent = Telemetry()
+        merge_snapshot(parent, snap)
+        merge_snapshot(parent, snap)
+        hist = parent.registry.histogram("h", (1, 2))
+        assert hist.counts == [2, 2]
+        assert hist.overflow == 2
+        assert hist.count == 6
+        assert hist.total == 204
+
+    def test_histogram_bounds_mismatch_raises(self):
+        snap = _capture(
+            lambda t: t.registry.histogram("h", (1, 2)).observe(1))
+        parent = Telemetry()
+        parent.registry.histogram("h", (4, 8))
+        with pytest.raises(ValueError, match="incompatible"):
+            merge_snapshot(parent, snap)
+
+    def test_unknown_metric_kind_raises(self):
+        snap = TelemetrySnapshot(metrics={"m": {"kind": "weird"}})
+        with pytest.raises(ValueError, match="unknown kind"):
+            merge_snapshot(Telemetry(), snap)
+
+
+class TestMergeJournal:
+    def test_run_indices_remap_to_parent_sequence(self):
+        def fill(telemetry):
+            telemetry.begin_run("mcf", "mint", seed=7)
+
+        first, second = _capture(fill), _capture(fill)
+        parent = Telemetry(journal_memory=True)
+        merge_snapshot(parent, first)
+        merge_snapshot(parent, second)
+        assert [r["run"] for r in parent.journal.records] == [0, 1]
+        assert parent.run_index == 1
+
+    def test_replayed_snapshot_is_not_mutated(self):
+        snap = _capture(lambda t: t.begin_run("mcf", "mint", seed=7))
+        before = json.dumps(snap.journal)
+        parent = Telemetry(journal_memory=True)
+        merge_snapshot(parent, snap)
+        merge_snapshot(parent, snap)
+        assert json.dumps(snap.journal) == before
+        assert snap.journal[0]["run"] == 0
+
+    def test_mitigation_records_feed_parent_trace(self):
+        snap = TelemetrySnapshot(journal=[
+            {"v": 1, "kind": "mitigation", "cmd": "DRFMsb", "rlp": 3},
+            {"v": 1, "kind": "sample", "tick": 0},
+        ])
+        parent = Telemetry(trace=True)
+        merge_snapshot(parent, snap)
+        assert len(parent.trace) == 1
+        assert parent.trace.events[0]["cmd"] == "DRFMsb"
+
+
+class TestMergeTimeline:
+    def test_samples_sort_by_simulated_time(self):
+        import dataclasses
+
+        snap = TelemetrySnapshot(timeline=[
+            dataclasses.asdict(_sample(200, tick=1)),
+            dataclasses.asdict(_sample(100, tick=0)),
+        ])
+        parent = Telemetry()
+        merge_snapshot(parent, snap)
+        assert [s.time_ps for s in parent.timeline.samples] == [100, 200]
+        assert all(isinstance(s, TimelineSample)
+                   for s in parent.timeline.samples)
+
+
+class TestMergeProfiling:
+    def test_phase_and_throughput_totals_accumulate(self):
+        snap = TelemetrySnapshot(
+            phases={"simulate": {"seconds": 1.5, "calls": 2}},
+            throughput={"events": 100, "seconds": 0.5, "intervals": 1})
+        parent = Telemetry()
+        merge_snapshot(parent, snap)
+        merge_snapshot(parent, snap)
+        phases = parent.profiler.phases.snapshot()
+        assert phases["simulate"]["seconds"] == 3.0
+        assert phases["simulate"]["calls"] == 4
+        assert parent.profiler.throughput.events == 200
+        assert parent.profiler.throughput.intervals == 2
+
+
+class TestDocRoundTrip:
+    def _real_snapshot(self) -> TelemetrySnapshot:
+        def fill(telemetry):
+            telemetry.begin_run("mcf", "mint", seed=7)
+            telemetry.registry.counter("sim.runs").inc()
+            telemetry.registry.histogram("h", (1, 2)).observe(2)
+            telemetry.timeline.samples.append(_sample(100))
+
+        return _capture(fill)
+
+    def test_json_round_trip_preserves_merge_result(self):
+        snap = self._real_snapshot()
+        doc = json.loads(json.dumps(snapshot_to_doc(snap)))
+        restored = snapshot_from_doc(doc)
+        assert restored is not None
+
+        def merged(snapshot):
+            parent = Telemetry(journal_memory=True)
+            merge_snapshot(parent, snapshot)
+            return (json.dumps(parent.snapshot()["metrics"],
+                               sort_keys=True),
+                    json.dumps(parent.journal.records))
+
+        assert merged(restored) == merged(snap)
+
+    def test_wrong_schema_rejected(self):
+        doc = snapshot_to_doc(self._real_snapshot())
+        doc["schema"] = SNAPSHOT_SCHEMA_VERSION + 1
+        assert snapshot_from_doc(doc) is None
+
+    def test_malformed_sections_rejected(self):
+        base = snapshot_to_doc(self._real_snapshot())
+        for key, bad in [("metrics", []), ("journal", {}),
+                         ("timeline", {}), ("phases", []),
+                         ("throughput", [])]:
+            doc = dict(base)
+            doc[key] = bad
+            assert snapshot_from_doc(doc) is None
+        assert snapshot_from_doc("nope") is None
+
+    def test_malformed_timeline_row_rejected(self):
+        doc = snapshot_to_doc(self._real_snapshot())
+        doc = json.loads(json.dumps(doc))
+        doc["timeline"][0].pop("rlp")
+        assert snapshot_from_doc(doc) is None

@@ -1,0 +1,106 @@
+"""EventTrace capture plus the ``repro trace`` analyzer cross-check.
+
+The load-bearing assertion: the analyzer's per-policy RLP statistics,
+reduced purely from journal/trace records, must equal
+:func:`repro.analysis.rlp.summarize` over the sub-channel's raw
+:class:`~repro.dram.subchannel.MitigationEvent` log for a real Figure-5
+design — the two paths observe the same mitigations through entirely
+different plumbing.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import rlp
+from repro.analysis.harness import AttackHarness
+from repro.analysis.trace import analyze_trace, render_trace
+from repro.mc.mitigation import coupled_mint_factory
+from repro.obs import Telemetry
+from repro.obs.journal import load_journal
+from repro.obs.trace import EventTrace
+
+
+@pytest.fixture
+def hammered():
+    """A fig5 coupled-MINT design driven hard enough to mitigate."""
+    telemetry = Telemetry(journal_memory=True, trace=True)
+    telemetry.begin_run("attack", "mint-drfmsb", seed=99)
+    harness = AttackHarness(coupled_mint_factory(500))
+    harness.policy.telemetry = telemetry.channel(0)
+    pattern = [(bank, row) for _ in range(40)
+               for bank in range(4) for row in (10, 20)]
+    harness.run(pattern)
+    assert harness.subchannel.mitigation_log, "attack never mitigated"
+    return telemetry, harness
+
+
+class TestAnalyzerCrossCheck:
+    def test_matches_rlp_summarize(self, hammered):
+        telemetry, harness = hammered
+        reference = rlp.summarize(harness.subchannel.mitigation_log)
+        summary = analyze_trace(telemetry.journal.records)["mint-drfmsb"]
+        assert summary.events == reference.commands
+        assert summary.mean_rlp == pytest.approx(reference.average)
+        assert summary.max_rlp == reference.max_rlp
+        assert summary.wasted_bank_stalls == reference.wasted_bank_stalls
+        assert summary.stats.efficiency == \
+            pytest.approx(reference.efficiency)
+
+    def test_trace_records_equal_journal_mitigations(self, hammered):
+        telemetry, _ = hammered
+        journal_mitigations = [r for r in telemetry.journal.records
+                               if r["kind"] == "mitigation"]
+        assert telemetry.trace.events == journal_mitigations
+
+    def test_bucket_counts_cover_every_event(self, hammered):
+        telemetry, _ = hammered
+        summary = analyze_trace(telemetry.journal.records)["mint-drfmsb"]
+        assert sum(summary.rlp_buckets) == summary.events
+        assert summary.dars_events == summary.events
+
+    def test_render_mentions_the_paper_quantities(self, hammered):
+        telemetry, _ = hammered
+        out = render_trace(analyze_trace(telemetry.journal.records))
+        assert "== policy: mint-drfmsb ==" in out
+        assert "rlp: mean=" in out
+        assert "efficiency=" in out
+        assert "DAR occupancy" in out
+
+
+class TestWriteJsonl:
+    def test_round_trip_through_file(self, hammered, tmp_path):
+        telemetry, _ = hammered
+        path = tmp_path / "events.jsonl"
+        telemetry.trace.write_jsonl(path)
+        records = load_journal(str(path))
+        direct = analyze_trace(telemetry.journal.records)["mint-drfmsb"]
+        replayed = analyze_trace(records)["mint-drfmsb"]
+        assert replayed.events == direct.events
+        assert replayed.mean_rlp == pytest.approx(direct.mean_rlp)
+        assert replayed.rlp_buckets == direct.rlp_buckets
+
+    def test_write_is_atomic_no_temp_left(self, hammered, tmp_path):
+        telemetry, _ = hammered
+        telemetry.trace.write_jsonl(tmp_path / "events.jsonl")
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.name != "events.jsonl"]
+        assert leftovers == []
+
+
+class TestEventTraceBounds:
+    def test_capacity_drops_and_counts(self):
+        trace = EventTrace(limit=2)
+        for index in range(5):
+            trace.record({"kind": "mitigation", "rlp": index})
+        assert len(trace) == 2
+        assert trace.dropped == 3
+        assert [event["rlp"] for event in trace.events] == [0, 1]
+
+    def test_records_are_json_lines(self, tmp_path):
+        trace = EventTrace()
+        trace.record({"kind": "mitigation", "cmd": "NRR", "rlp": 1})
+        path = tmp_path / "t.jsonl"
+        trace.write_jsonl(path)
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(line) for line in lines] == trace.events
