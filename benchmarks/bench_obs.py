@@ -8,19 +8,34 @@ exercised, not idle) in three telemetry configurations:
 * **on** — in-memory journal + timeline sampling + metrics;
 * **on+trace** — the above plus the bounded DRFM event trace.
 
-Each configuration reports the **best-of-7** engine events/sec (best,
-not mean: the minimum wall time is the cleanest estimate of the code's
-cost under benchmark noise).  Results fold into
+Two measurement rules keep the comparison honest on a noisy 1-core CI
+box (this benchmark used to report "on+trace" as *cheaper* than "on",
+which is impossible in expectation):
+
+* **warmup** — each configuration runs one untimed round first, so
+  first-touch effects (trace-column materialisation, allocator warm-up,
+  branch caches) do not land on whichever config happened to run first;
+* **interleaving** — the timed rounds cycle off -> on -> on+trace
+  rather than measuring each config's rounds back-to-back, so slow
+  machine-speed drift (CPU contention on shared runners moves on a
+  multi-second timescale) hits every configuration equally.
+
+Each configuration reports the **best-of-7** engine events/sec (the
+minimum wall time is the cleanest estimate of the code's cost under
+benchmark noise) and the **median-of-7** (the stability check — a
+single quiet round cannot move it).  Results fold into
 ``results/BENCH_obs.json`` together with per-config ``overhead_pct``
-relative to the off baseline — the telemetry-on budget is <= 10 %
-events/s, tracked in the snapshot rather than asserted inline (wall
-clock timing is too noisy for a hard CI gate).
+(best-based) and ``median_overhead_pct`` relative to the off baseline —
+the telemetry-on budget is <= 10 % events/s, tracked in the snapshot
+rather than asserted inline (wall clock timing is too noisy for a hard
+CI gate).
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import statistics
 import time
 
 import pytest
@@ -36,6 +51,7 @@ OBS_SNAPSHOT = RESULTS_DIR / "BENCH_obs.json"
 ROUNDS = 7
 REQUESTS = 2_000
 WORKLOAD = "mcf"
+CONFIGS = ("off", "on", "on+trace")
 
 
 def _telemetry(config: str) -> Telemetry | None:
@@ -45,8 +61,8 @@ def _telemetry(config: str) -> Telemetry | None:
                      trace=(config == "on+trace"))
 
 
-def _measure(config: str) -> dict:
-    """Best-of-ROUNDS events/sec for one telemetry configuration."""
+def _measure_all() -> dict[str, dict]:
+    """Warmup + interleaved best/median-of-ROUNDS for every config."""
     from repro.sim.runner import run_simulation
 
     system = SystemConfig.baseline(refs_per_window=32)
@@ -54,25 +70,34 @@ def _measure(config: str) -> dict:
     traces = build_traces(WORKLOAD, system, sim)
     factory = coupled_mint_factory(500)
 
-    best_events_per_sec = 0.0
-    events = 0
-    mitigations = 0
-    for _ in range(ROUNDS):
+    def one_run(config: str) -> tuple[float, object]:
         telemetry = _telemetry(config)
         started = time.perf_counter()
         result = run_simulation(system, traces, sim, factory, "mint",
                                 telemetry=telemetry)
-        wall_s = time.perf_counter() - started
-        events = result.requests_completed
-        mitigations = result.mitigation_commands
-        best_events_per_sec = max(best_events_per_sec, events / wall_s)
+        return time.perf_counter() - started, result
+
+    for config in CONFIGS:  # untimed warmup, one round per config
+        one_run(config)
+    rates: dict[str, list[float]] = {config: [] for config in CONFIGS}
+    events = 0
+    mitigations = 0
+    for _ in range(ROUNDS):
+        for config in CONFIGS:
+            wall_s, result = one_run(config)
+            events = result.requests_completed
+            mitigations = result.mitigation_commands
+            rates[config].append(events / wall_s)
     assert mitigations > 0, "benchmark cell never mitigated"
-    return {"events_per_sec": round(best_events_per_sec),
-            "events": events, "mitigations": mitigations,
-            "rounds": ROUNDS}
+    return {config: {
+        "events_per_sec": round(max(samples)),
+        "median_events_per_sec": round(statistics.median(samples)),
+        "events": events, "mitigations": mitigations,
+        "rounds": ROUNDS,
+    } for config, samples in rates.items()}
 
 
-def _update_obs_snapshot(config: str, entry: dict) -> None:
+def _update_obs_snapshot(entries: dict[str, dict]) -> None:
     """Read-modify-write ``BENCH_obs.json`` (mirrors BENCH_sweep.json)."""
     snapshot: dict = {"configs": {}}
     try:
@@ -80,13 +105,20 @@ def _update_obs_snapshot(config: str, entry: dict) -> None:
     except (OSError, ValueError):
         pass
     configs = snapshot.setdefault("configs", {})
-    configs[config] = entry
-    baseline = configs.get("off", {}).get("events_per_sec")
-    if baseline:
-        for name, config_entry in configs.items():
-            rate = config_entry["events_per_sec"]
-            config_entry["overhead_pct"] = \
-                round(100.0 * (baseline - rate) / baseline, 1)
+    configs.update(entries)
+    baseline = configs.get("off", {})
+    best_base = baseline.get("events_per_sec")
+    median_base = baseline.get("median_events_per_sec")
+    for name, config_entry in configs.items():
+        if best_base:
+            config_entry["overhead_pct"] = round(
+                100.0 * (best_base - config_entry["events_per_sec"])
+                / best_base, 1)
+        if median_base and "median_events_per_sec" in config_entry:
+            config_entry["median_overhead_pct"] = round(
+                100.0 * (median_base
+                         - config_entry["median_events_per_sec"])
+                / median_base, 1)
     snapshot["workload"] = WORKLOAD
     snapshot["requests_per_core"] = REQUESTS
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -95,12 +127,16 @@ def _update_obs_snapshot(config: str, entry: dict) -> None:
 
 
 @pytest.mark.benchmark(group="obs")
-@pytest.mark.parametrize("config", ["off", "on", "on+trace"])
-def test_obs_overhead(benchmark, config):
-    entry = benchmark.pedantic(_measure, args=(config,),
-                               rounds=1, iterations=1)
-    benchmark.extra_info["config"] = config
-    benchmark.extra_info["events_per_sec"] = entry["events_per_sec"]
-    _update_obs_snapshot(config, entry)
-    print(f"\n[obs] {config}: {entry['events_per_sec']:,} events/s "
-          f"(best of {ROUNDS})")
+def test_obs_overhead(benchmark):
+    entries = benchmark.pedantic(_measure_all, rounds=1, iterations=1)
+    for config, entry in entries.items():
+        benchmark.extra_info[f"{config}_events_per_sec"] = \
+            entry["events_per_sec"]
+        benchmark.extra_info[f"{config}_median_events_per_sec"] = \
+            entry["median_events_per_sec"]
+    _update_obs_snapshot(entries)
+    print()
+    for config, entry in entries.items():
+        print(f"[obs] {config}: {entry['events_per_sec']:,} events/s "
+              f"best, {entry['median_events_per_sec']:,} median "
+              f"(of {ROUNDS}, interleaved)")

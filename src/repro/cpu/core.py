@@ -24,9 +24,12 @@ from repro.workloads.trace import MemoryTrace
 class Request:
     """One in-flight memory request.
 
-    Allocated once per fetched request on the hottest path of the
-    engine loop; ``slots`` drops the per-instance ``__dict__`` (smaller
-    allocations, faster attribute reads in ``run_simulation``).
+    This is the *reference* request container: the optimized
+    ``run_simulation`` loop packs the same six fields directly into its
+    heap tuples and never allocates a ``Request`` (see
+    :mod:`repro.sim.runner`).  :meth:`Core.fetch` still returns one for
+    every non-hot-path caller and for the reference event loop the
+    byte-identity tests replay.
     """
 
     core: int
@@ -67,11 +70,19 @@ class Core:
         self.completed = 0
         self.finish_time_ps: int | None = None
         self._length = len(trace)
+        # Flat Python-int trace columns, converted once here so the
+        # per-request path never touches numpy scalars (cached on the
+        # trace — cores sharing a trace share the lists).
+        (self.sub_col, self.bank_col,
+         self.row_col, self.gap_col) = trace.columns()
 
     def fetch(self, slot: int) -> tuple[Request, int] | None:
         """Fetch the next request for ``slot``, or ``None`` when exhausted.
 
-        Returns the request plus its think gap in picoseconds.
+        Returns the request plus its think gap in picoseconds.  The
+        optimized engine loop inlines this bookkeeping (advancing
+        ``issued``, indexing the columns) instead of calling it; the two
+        must stay in lock-step, which the identity tests enforce.
         """
         if self.issued >= self.budget:
             return None
@@ -81,11 +92,11 @@ class Core:
             core=self.core_id,
             slot=slot,
             index=index,
-            subchannel=int(self.trace.subchannel[index]),
-            bank=int(self.trace.bank[index]),
-            row=int(self.trace.row[index]),
+            subchannel=self.sub_col[index],
+            bank=self.bank_col[index],
+            row=self.row_col[index],
         )
-        return request, int(self.trace.gap_ps[index])
+        return request, self.gap_col[index]
 
     def complete(self, finish_ps: int) -> None:
         """Record a request completion at ``finish_ps``."""

@@ -77,6 +77,16 @@ class Bank:
     dar: DARRegister = field(default_factory=DARRegister)
     stats: BankStats = field(default_factory=BankStats)
 
+    def __post_init__(self) -> None:
+        # Timing scalars hoisted out of the (property-bearing) timing
+        # dataclass: activate/precharge run once per row miss and must
+        # not pay attribute-chain or property-call cost per command.
+        timing = self.timing
+        self._t_rc = timing.t_rc
+        self._t_rcd = timing.t_rcd
+        self._t_ras = timing.t_ras
+        self._t_rp = timing.t_rp
+
     # ------------------------------------------------------------------
     # Availability / blocking
     # ------------------------------------------------------------------
@@ -104,10 +114,14 @@ class Bank:
             raise RuntimeError(
                 f"bank {self.index}: ACT to row {row} while row "
                 f"{self.open_row} is open")
-        start = max(self.ready_at(now_ps), self.last_act_ps + self.timing.t_rc)
+        busy = self.busy_until_ps
+        if busy < now_ps:
+            busy = now_ps
+        tracked = self.last_act_ps + self._t_rc
+        start = tracked if tracked > busy else busy
         self.open_row = row
         self.last_act_ps = start
-        self.busy_until_ps = start + self.timing.t_rcd
+        self.busy_until_ps = start + self._t_rcd
         self.stats.activations += 1
         return self.busy_until_ps
 
@@ -124,10 +138,13 @@ class Bank:
             self.dar.write(self.open_row, now_ps)
             self.stats.samples += 1
         # tRAS: a row must stay open for at least tRC - tRP after its ACT.
-        start = max(self.ready_at(now_ps),
-                    self.last_act_ps + self.timing.t_ras)
+        busy = self.busy_until_ps
+        if busy < now_ps:
+            busy = now_ps
+        earliest = self.last_act_ps + self._t_ras
+        start = earliest if earliest > busy else busy
         self.open_row = None
-        self.busy_until_ps = start + self.timing.t_rp
+        self.busy_until_ps = start + self._t_rp
         self.stats.precharges += 1
         return self.busy_until_ps
 

@@ -36,6 +36,8 @@ class RefreshScheduler:
     def __init__(self, timing: DDR5Timing, subchannel: SubChannel) -> None:
         self.timing = timing
         self.subchannel = subchannel
+        #: tREFI hoisted out of the dataclass for the advance loop.
+        self.t_refi = timing.t_refi
         self.next_ref_ps = timing.t_refi
         self.ref_index = 0
         self._callbacks: list[RefCallback] = []
@@ -45,13 +47,24 @@ class RefreshScheduler:
         self._callbacks.append(callback)
 
     def advance(self, now_ps: int) -> None:
-        """Issue every REF due at or before ``now_ps``."""
-        while self.next_ref_ps <= now_ps:
-            self.subchannel.refresh(self.next_ref_ps)
-            for callback in self._callbacks:
-                callback(self.ref_index, self.next_ref_ps)
+        """Issue every REF due at or before ``now_ps``.
+
+        ``next_ref_ps`` and ``ref_index`` are kept current *before* the
+        per-REF callbacks fire, so callbacks observe exactly the state
+        the straightforward loop would show them.
+        """
+        next_ref = self.next_ref_ps
+        if now_ps < next_ref:
+            return
+        refresh = self.subchannel.refresh
+        callbacks = self._callbacks
+        t_refi = self.t_refi
+        while next_ref <= now_ps:
+            refresh(next_ref)
+            for callback in callbacks:
+                callback(self.ref_index, next_ref)
             self.ref_index += 1
-            self.next_ref_ps += self.timing.t_refi
+            next_ref = self.next_ref_ps = next_ref + t_refi
 
     @property
     def window_position(self) -> int:

@@ -163,7 +163,7 @@ class SubChannel:
 
     def valid_dar_count(self) -> int:
         """Number of banks whose DAR currently holds a row."""
-        return sum(1 for bank in self.banks if bank.dar.valid)
+        return sum(1 for bank in self.banks if bank.dar.row is not None)
 
     def bankgroup_of(self, bank: int) -> int:
         """Bankgroup index of ``bank``."""

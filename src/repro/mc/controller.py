@@ -48,6 +48,17 @@ class SubChannelController:
         self.policy = policy
         self.page_policy = page_policy
         self.tracer: CommandTracer | None = None
+        # Hot-path caches: ``service`` runs once per request and must
+        # not re-chase attribute chains or property descriptors.  The
+        # cached ``next_ref_ps`` mirror is a lower bound on the
+        # scheduler's real deadline — it only ever lags behind (an
+        # advance from elsewhere moves the real deadline later), so a
+        # stale mirror causes a redundant no-op advance, never a
+        # missed REF.
+        self.banks = subchannel.banks
+        self._t_cl = timing.t_cl
+        self._closes_after_access = page_policy.closes_after_access
+        self._next_ref_ps = self.refresh.next_ref_ps
         if policy is not None:
             policy.bind(self)
 
@@ -105,39 +116,44 @@ class SubChannelController:
     # ------------------------------------------------------------------
     def service(self, bank_index: int, row: int, now_ps: int) -> int:
         """Service one 64-byte read; returns its data completion time."""
-        self.refresh.advance(now_ps)
-        bank = self.subchannel.banks[bank_index]
-        timing = self.timing
+        if now_ps >= self._next_ref_ps:
+            refresh = self.refresh
+            refresh.advance(now_ps)
+            self._next_ref_ps = refresh.next_ref_ps
+        bank = self.banks[bank_index]
         if bank.open_row == row:
+            # Row-buffer hit: column access + burst only — the paper's
+            # trackers observe activations, so no policy consultation.
             bank.stats.row_hits += 1
-            data_ready = bank.ready_at(now_ps) + timing.t_cl
+            busy = bank.busy_until_ps
+            data_ready = (busy if busy > now_ps else now_ps) + self._t_cl
             return self.subchannel.reserve_bus(data_ready)
+        tracer = self.tracer
+        policy = self.policy
         sample_after = False
-        if self.policy is not None:
-            sample_after = self.policy.before_activate(bank_index, row,
-                                                       now_ps)
+        if policy is not None:
+            sample_after = policy.before_activate(bank_index, row, now_ps)
             # The policy may have re-opened state questions: a mitigation
             # it issued blocks the bank; the ACT below waits naturally.
         if bank.open_row is not None:
             bank.stats.row_conflicts += 1
-            if self.tracer is not None:
-                self.tracer.record(now_ps, Command.PRE, bank_index)
+            if tracer is not None:
+                tracer.record(now_ps, Command.PRE, bank_index)
             bank.precharge(now_ps)
         row_ready = bank.activate(row, now_ps)
-        if self.tracer is not None:
-            self.tracer.record(row_ready - timing.t_rcd, Command.ACT,
-                               bank_index, row)
-        data_ready = row_ready + timing.t_cl
-        finish = self.subchannel.reserve_bus(data_ready)
+        if tracer is not None:
+            tracer.record(row_ready - self.timing.t_rcd, Command.ACT,
+                          bank_index, row)
+        finish = self.subchannel.reserve_bus(row_ready + self._t_cl)
         if sample_after:
             bank.precharge(finish, sample=True)
-            if self.tracer is not None:
-                self.tracer.record(finish, Command.PRE_SAMPLE, bank_index,
-                                   row)
-            self.policy.on_sampled(bank_index, row, finish)
-        elif self.page_policy.closes_after_access:
-            if self.tracer is not None:
-                self.tracer.record(finish, Command.PRE, bank_index)
+            if tracer is not None:
+                tracer.record(finish, Command.PRE_SAMPLE, bank_index,
+                              row)
+            policy.on_sampled(bank_index, row, finish)
+        elif self._closes_after_access:
+            if tracer is not None:
+                tracer.record(finish, Command.PRE, bank_index)
             bank.precharge(finish)
         return finish
 

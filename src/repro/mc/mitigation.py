@@ -106,7 +106,9 @@ class CoupledMintPolicy(MitigationPolicy):
     def before_activate(self, bank: int, row: int, now_ps: int) -> bool:
         self.stats.activations_observed += 1
         state = self.windows[bank]
-        if state.expired:
+        # ``can >= window`` is MintWindow.expired inlined: this runs
+        # once per ACT and the property descriptor is measurable there.
+        if state.can >= state.window:
             selected = state.roll_over()
             if selected is not None:
                 self.stats.selections += 1

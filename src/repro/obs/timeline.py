@@ -82,12 +82,18 @@ class _Cursor:
 
     def cumulative(self) -> dict:
         subchannel = self.controller.subchannel
-        banks = subchannel.banks
+        activations = row_hits = row_conflicts = samples = 0
+        for bank in subchannel.banks:  # one pass, not four
+            stats = bank.stats
+            activations += stats.activations
+            row_hits += stats.row_hits
+            row_conflicts += stats.row_conflicts
+            samples += stats.samples
         totals = {
-            "activations": sum(b.stats.activations for b in banks),
-            "row_hits": sum(b.stats.row_hits for b in banks),
-            "row_conflicts": sum(b.stats.row_conflicts for b in banks),
-            "samples": sum(b.stats.samples for b in banks),
+            "activations": activations,
+            "row_hits": row_hits,
+            "row_conflicts": row_conflicts,
+            "samples": samples,
             "mitigation_commands": subchannel.stats.mitigation_commands,
             "mitigated_rows": subchannel.stats.mitigated_rows,
             "selections": 0,

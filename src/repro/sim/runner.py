@@ -5,11 +5,40 @@ MLP slot of every core cycles between thinking and memory service.  The
 event queue orders slot wake-ups; request service is computed
 synchronously against the bank state machines, which is exact for the
 arrival-ordered, per-bank-FIFO scheduling this model uses.
+
+Two implementations of the event loop live here:
+
+* :func:`run_simulation` — the optimized hot path.  It keeps the event
+  heap as a bare list of packed ``(time, sequence, core, slot,
+  subchannel, bank, row)`` tuples driven by the module-level
+  :func:`heapq.heappush`/:func:`heapq.heappop`, and inlines the fetch
+  bookkeeping of :meth:`~repro.cpu.core.Core.fetch` against the trace's
+  flat Python-int columns — zero allocations per event beyond the heap
+  entry itself.
+* :func:`run_simulation_reference` — the straightforward loop over
+  :class:`~repro.sim.engine.EventQueue` and
+  :meth:`~repro.cpu.core.Core.fetch` the optimized path was derived
+  from.  It is the executable specification: both must produce
+  **byte-identical** :meth:`~repro.sim.results.RunResult.to_json` and
+  telemetry output for any input (``tests/test_engine_identity.py``
+  and the checked-in goldens under ``tests/data/goldens/`` pin this).
+
+Invariants any further optimization must keep (see
+``docs/architecture.md``):
+
+* events at equal timestamps are serviced in FIFO push order (the
+  sequence tie-break);
+* per-core fetch order follows completion order exactly (a slot fetches
+  its next request the moment its previous one completes);
+* telemetry reads simulator state but never steers it, and the
+  timeline's ``queue_depth`` closure is detached even when a policy or
+  bank model raises.
 """
 
 from __future__ import annotations
 
 import time
+from heapq import heappop, heappush
 
 from repro.cpu.core import Core
 from repro.mc.controller import MemoryController
@@ -19,6 +48,54 @@ from repro.sim.config import SimConfig, SystemConfig
 from repro.sim.engine import EventQueue
 from repro.sim.results import ComparisonResult, RunResult
 from repro.workloads.trace import MemoryTrace
+
+
+def _setup(system: SystemConfig, traces: list[MemoryTrace],
+           sim: SimConfig, policy_factory: PolicyFactory | None,
+           policy_name: str, telemetry):
+    """Shared run preamble: validate, begin telemetry, build MC+cores."""
+    if len(traces) != system.num_cores:
+        raise ValueError(
+            f"expected {system.num_cores} traces, got {len(traces)}")
+    if telemetry is None:
+        telemetry = obs_runtime.active()
+    workload = traces[0].name if traces else "empty"
+    if telemetry is not None:
+        telemetry.begin_run(workload, policy_name, sim.seed)
+    mc = MemoryController(system.organization, system.timing,
+                          policy_factory, seed=sim.seed,
+                          page_policy=system.page_policy,
+                          telemetry=telemetry)
+    cores = [Core(i, traces[i], sim.requests_per_core, system.mlp_per_core)
+             for i in range(system.num_cores)]
+    return mc, cores, workload, telemetry
+
+
+def _finish(mc, cores, workload: str, policy_name: str, completed: int,
+            end_time: int, system: SystemConfig, telemetry,
+            loop_seconds: float) -> RunResult:
+    """Shared run epilogue: assemble the result, close out telemetry."""
+    finish_times = [core.finish_time_ps if core.finish_time_ps is not None
+                    else end_time for core in cores]
+    result = RunResult(
+        workload=workload,
+        policy=policy_name,
+        finish_times_ps=finish_times,
+        end_time_ps=end_time,
+        requests_completed=completed,
+        activations=mc.total_activations(),
+        row_hits=mc.total_row_hits(),
+        row_conflicts=mc.total_row_conflicts(),
+        mitigation_commands=mc.total_mitigation_commands(),
+        rows_mitigated=mc.device.total_mitigated_rows(),
+        average_rlp=mc.average_rlp(),
+        bus_busy_ps=mc.bus_busy_ps(),
+        subchannels=system.organization.subchannels,
+        policy_summaries=mc.policy_summaries(),
+    )
+    if telemetry is not None:
+        telemetry.end_run(result, events=completed, seconds=loop_seconds)
+    return result
 
 
 def run_simulation(system: SystemConfig, traces: list[MemoryTrace],
@@ -48,20 +125,84 @@ def run_simulation(system: SystemConfig, traces: list[MemoryTrace],
         Telemetry only reads simulator state, so the returned
         :class:`RunResult` is bit-identical with it on or off.
     """
-    if len(traces) != system.num_cores:
-        raise ValueError(
-            f"expected {system.num_cores} traces, got {len(traces)}")
-    if telemetry is None:
-        telemetry = obs_runtime.active()
-    workload = traces[0].name if traces else "empty"
+    mc, cores, workload, telemetry = _setup(system, traces, sim,
+                                            policy_factory, policy_name,
+                                            telemetry)
+    controllers = mc.controllers
+    # Bare-list heap of (time, sequence, core, slot, sub, bank, row)
+    # tuples: unique monotone sequence numbers reproduce EventQueue's
+    # FIFO tie-break exactly (comparison never reaches the payload).
+    heap: list[tuple[int, int, int, int, int, int, int]] = []
+    sequence = 0
+    for core in cores:
+        sub_col = core.sub_col
+        bank_col = core.bank_col
+        row_col = core.row_col
+        gap_col = core.gap_col
+        length = core._length
+        for slot in range(core.mlp):
+            if core.issued >= core.budget:
+                break
+            index = core.issued % length
+            core.issued += 1
+            heappush(heap, (gap_col[index], sequence, core.core_id, slot,
+                            sub_col[index], bank_col[index],
+                            row_col[index]))
+            sequence += 1
+    loop_started = 0.0
     if telemetry is not None:
-        telemetry.begin_run(workload, policy_name, sim.seed)
-    mc = MemoryController(system.organization, system.timing,
-                          policy_factory, seed=sim.seed,
-                          page_policy=system.page_policy,
-                          telemetry=telemetry)
-    cores = [Core(i, traces[i], sim.requests_per_core, system.mlp_per_core)
-             for i in range(system.num_cores)]
+        telemetry.timeline.queue_depth = lambda: len(heap)
+        loop_started = time.perf_counter()
+    completed = 0
+    end_time = 0
+    try:
+        while heap:
+            now, _, core_index, slot, sub, bank, row = heappop(heap)
+            finish = controllers[sub].service(bank, row, now)
+            core = cores[core_index]
+            core.completed += 1
+            completed += 1
+            if finish > end_time:
+                end_time = finish
+            issued = core.issued
+            if issued < core.budget:
+                index = issued % core._length
+                core.issued = issued + 1
+                heappush(heap, (finish + core.gap_col[index], sequence,
+                                core_index, slot, core.sub_col[index],
+                                core.bank_col[index], core.row_col[index]))
+                sequence += 1
+            elif core.completed >= core.budget:
+                core.finish_time_ps = finish
+    finally:
+        # Always detach the queue-depth closure: leaving it behind after
+        # a policy/bank exception would leak a dead heap into a shared
+        # Telemetry and poison later runs' timeline samples.
+        if telemetry is not None:
+            telemetry.timeline.queue_depth = None
+    loop_seconds = (time.perf_counter() - loop_started
+                    if telemetry is not None else 0.0)
+    return _finish(mc, cores, workload, policy_name, completed, end_time,
+                   system, telemetry, loop_seconds)
+
+
+def run_simulation_reference(system: SystemConfig,
+                             traces: list[MemoryTrace],
+                             sim: SimConfig,
+                             policy_factory: PolicyFactory | None = None,
+                             policy_name: str = "none",
+                             telemetry=None) -> RunResult:
+    """Reference event loop (pre-overhaul code path).
+
+    Semantically identical to :func:`run_simulation` but written against
+    the plain :class:`EventQueue`/:meth:`Core.fetch` API, with the
+    scheduling-in-the-past guard active.  Kept as the executable
+    specification for the byte-identity tests; use it when debugging a
+    suspected hot-path divergence.
+    """
+    mc, cores, workload, telemetry = _setup(system, traces, sim,
+                                            policy_factory, policy_name,
+                                            telemetry)
     queue = EventQueue()
     for core in cores:
         for slot in range(core.mlp):
@@ -70,47 +211,33 @@ def run_simulation(system: SystemConfig, traces: list[MemoryTrace],
                 break
             request, gap = fetched
             queue.push(gap, request)
+    loop_started = 0.0
     if telemetry is not None:
         telemetry.timeline.queue_depth = lambda: len(queue)
         loop_started = time.perf_counter()
     completed = 0
     end_time = 0
-    while queue:
-        now, request = queue.pop()
-        finish = mc.service(request.subchannel, request.bank, request.row,
-                            now)
-        core = cores[request.core]
-        core.complete(finish)
-        completed += 1
-        if finish > end_time:
-            end_time = finish
-        fetched = core.fetch(request.slot)
-        if fetched is not None:
-            next_request, gap = fetched
-            queue.push(finish + gap, next_request)
-    finish_times = [core.finish_time_ps if core.finish_time_ps is not None
-                    else end_time for core in cores]
-    result = RunResult(
-        workload=workload,
-        policy=policy_name,
-        finish_times_ps=finish_times,
-        end_time_ps=end_time,
-        requests_completed=completed,
-        activations=mc.total_activations(),
-        row_hits=mc.total_row_hits(),
-        row_conflicts=mc.total_row_conflicts(),
-        mitigation_commands=mc.total_mitigation_commands(),
-        rows_mitigated=mc.device.total_mitigated_rows(),
-        average_rlp=mc.average_rlp(),
-        bus_busy_ps=mc.bus_busy_ps(),
-        subchannels=system.organization.subchannels,
-        policy_summaries=mc.policy_summaries(),
-    )
-    if telemetry is not None:
-        telemetry.end_run(result, events=completed,
-                          seconds=time.perf_counter() - loop_started)
-        telemetry.timeline.queue_depth = None
-    return result
+    try:
+        while queue:
+            now, request = queue.pop()
+            finish = mc.service(request.subchannel, request.bank,
+                                request.row, now)
+            core = cores[request.core]
+            core.complete(finish)
+            completed += 1
+            if finish > end_time:
+                end_time = finish
+            fetched = core.fetch(request.slot)
+            if fetched is not None:
+                next_request, gap = fetched
+                queue.push(finish + gap, next_request)
+    finally:
+        if telemetry is not None:
+            telemetry.timeline.queue_depth = None
+    loop_seconds = (time.perf_counter() - loop_started
+                    if telemetry is not None else 0.0)
+    return _finish(mc, cores, workload, policy_name, completed, end_time,
+                   system, telemetry, loop_seconds)
 
 
 def run_comparison(system: SystemConfig, traces: list[MemoryTrace],

@@ -71,13 +71,14 @@ class MintWindow:
 
     def observe(self, row: int) -> bool:
         """Record one activation; returns ``True`` if it was selected."""
-        if self.expired:
+        can = self.can
+        if can >= self.window:
             raise RuntimeError("observe() on an expired window; "
                                "call roll_over() first")
-        selected = self.can == self.san
+        selected = can == self.san
         if selected:
             self.selected_row = row
-        self.can += 1
+        self.can = can + 1
         return selected
 
     def roll_over(self) -> int | None:

@@ -50,6 +50,23 @@ class MemoryTrace:
     def __len__(self) -> int:
         return len(self.row)
 
+    def columns(self) -> tuple[list[int], list[int], list[int],
+                               list[int]]:
+        """``(subchannel, bank, row, gap_ps)`` as flat Python-int lists.
+
+        The engine hot loop indexes one element per fetched request;
+        indexing the numpy arrays directly would allocate a numpy scalar
+        (and force an ``int()`` round-trip) on every access.  The lists
+        are materialised once per trace and cached, so every
+        :class:`~repro.cpu.core.Core` sharing this trace reuses them.
+        """
+        cached = self.__dict__.get("_columns")
+        if cached is None:
+            cached = (self.subchannel.tolist(), self.bank.tolist(),
+                      self.row.tolist(), self.gap_ps.tolist())
+            self._columns = cached
+        return cached
+
     @classmethod
     def from_lines(cls, name: str, lines: np.ndarray, gaps_ps: np.ndarray,
                    mapper: MOPMapper) -> "MemoryTrace":

@@ -1,4 +1,14 @@
-"""Unit tests for the discrete-event queue."""
+"""Unit tests for the discrete-event queue.
+
+Beyond the basic API, these pin the ordering contract the optimized
+``run_simulation`` loop inlines (bare-list heap + module-level heapq +
+monotone sequence tie-break): the golden-ordering fixtures replay
+recorded event sequences and assert the exact service order, and the
+protocol-equivalence test drives the inlined idiom side by side with
+``EventQueue`` itself.
+"""
+
+from heapq import heappop, heappush
 
 import pytest
 
@@ -70,3 +80,69 @@ class TestIntrospection:
             queue.push(t, t)
         assert [t for t, _ in queue.drain()] == [1, 2, 3]
         assert not queue
+
+
+#: A recorded closed-loop schedule: ("push", time, payload) entries
+#: interleaved with ("pop",) service points, exactly the shape the
+#: engine loop produces (pops re-arm pushes at later times).  Ties at
+#: t=40 and t=55 pin the FIFO tie-break.
+GOLDEN_SCHEDULE = [
+    ("push", 10, "c0s0"), ("push", 10, "c0s1"), ("push", 25, "c1s0"),
+    ("pop",), ("push", 40, "c0s0'"),
+    ("pop",), ("push", 40, "c0s1'"),
+    ("push", 40, "c1s1"),
+    ("pop",), ("push", 55, "c1s0'"),
+    ("pop",), ("push", 55, "c0s0''"),
+    ("pop",), ("push", 55, "c0s1''"),
+    ("pop",), ("pop",), ("pop",), ("pop",),
+]
+
+#: The service order the schedule must produce, forever.
+GOLDEN_ORDER = [
+    (10, "c0s0"), (10, "c0s1"), (25, "c1s0"),
+    (40, "c0s0'"), (40, "c0s1'"), (40, "c1s1"),
+    (55, "c1s0'"), (55, "c0s0''"), (55, "c0s1''"),
+]
+
+
+class TestGoldenOrdering:
+    def test_recorded_sequence_replays_identically(self):
+        queue = EventQueue()
+        popped = []
+        for step in GOLDEN_SCHEDULE:
+            if step[0] == "push":
+                queue.push(step[1], step[2])
+            else:
+                popped.append(queue.pop())
+        assert popped == GOLDEN_ORDER
+        assert not queue
+
+    def test_inlined_bare_heap_matches_event_queue(self):
+        """The run_simulation idiom — heappush/heappop on ``.heap``
+        with a manual sequence counter — must order identically to the
+        push/pop API for the same schedule."""
+        queue = EventQueue()
+        heap = queue.heap
+        sequence = 0
+        popped = []
+        for step in GOLDEN_SCHEDULE:
+            if step[0] == "push":
+                heappush(heap, (step[1], sequence, step[2]))
+                sequence += 1
+            else:
+                time_ps, _, payload = heappop(heap)
+                popped.append((time_ps, payload))
+        assert popped == GOLDEN_ORDER
+
+    def test_interleaved_pushes_preserve_global_fifo(self):
+        """Payloads pushed at one timestamp across separate bursts pop
+        in overall push order, not per-burst order."""
+        queue = EventQueue()
+        queue.push(7, "a")
+        queue.push(9, "x")
+        queue.push(7, "b")
+        assert queue.pop() == (7, "a")
+        queue.push(9, "y")
+        queue.push(7, "c")
+        assert [payload for _, payload in queue.drain()] == [
+            "b", "c", "x", "y"]
