@@ -6,7 +6,9 @@ exercised, not idle) in three telemetry configurations:
 
 * **off** — no telemetry at all (the default path: one pointer check);
 * **on** — in-memory journal + timeline sampling + metrics;
-* **on+trace** — the above plus the bounded DRFM event trace.
+* **on+trace** — the above plus the bounded DRFM event trace;
+* **on+spans** — "on" plus the hierarchical span tracer (engine spans
+  bracket the event loop, so the per-event cost must stay nil).
 
 Two measurement rules keep the comparison honest on a noisy 1-core CI
 box (this benchmark used to report "on+trace" as *cheaper* than "on",
@@ -51,14 +53,15 @@ OBS_SNAPSHOT = RESULTS_DIR / "BENCH_obs.json"
 ROUNDS = 7
 REQUESTS = 2_000
 WORKLOAD = "mcf"
-CONFIGS = ("off", "on", "on+trace")
+CONFIGS = ("off", "on", "on+trace", "on+spans")
 
 
 def _telemetry(config: str) -> Telemetry | None:
     if config == "off":
         return None
     return Telemetry(journal_memory=True, sample_every_refi=8,
-                     trace=(config == "on+trace"))
+                     trace=(config == "on+trace"),
+                     spans=(config == "on+spans"))
 
 
 def _measure_all() -> dict[str, dict]:

@@ -1,0 +1,80 @@
+"""Benchmark-history bookkeeping for the regression observatory.
+
+Thin, runnable wrapper over :mod:`repro.analysis.regression`: it reads
+the committed benchmark snapshots (``results/BENCH_engine.json`` and
+``results/BENCH_obs.json``), flattens them into ``metric -> {best,
+median}`` figures, and either
+
+* ``record`` — appends one timestamped entry to
+  ``results/BENCH_history.jsonl`` (run after refreshing the snapshots
+  on a quiet machine; the history is the regression baseline and
+  ratchets element-wise upward), or
+* ``check`` — compares the current snapshots against the best figures
+  ever recorded and exits non-zero when any metric dropped by more
+  than the noise threshold on **both** the best and the median figure.
+
+``repro bench record`` / ``repro bench check`` expose the same two
+operations through the installed CLI; this module exists so the
+benchmarks directory is self-contained::
+
+    PYTHONPATH=src python benchmarks/history.py record --note "..."
+    PYTHONPATH=src python benchmarks/history.py check --threshold 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.analysis import regression
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Record or check the benchmark-regression history.")
+    parser.add_argument("action", choices=("record", "check"))
+    parser.add_argument("--results-dir", default=str(RESULTS_DIR),
+                        help="directory holding the BENCH_* snapshots")
+    parser.add_argument("--history", default=None,
+                        help="history file (default: "
+                             "<results-dir>/BENCH_history.jsonl)")
+    parser.add_argument("--threshold", type=float,
+                        default=regression.DEFAULT_THRESHOLD_PCT,
+                        help="regression threshold in percent")
+    parser.add_argument("--note", default="",
+                        help="free-form note stored with 'record'")
+    args = parser.parse_args(argv)
+
+    history = args.history or str(
+        pathlib.Path(args.results_dir) / regression.HISTORY_FILE)
+
+    if args.action == "record":
+        metrics = regression.collect_metrics(args.results_dir)
+        if not metrics:
+            print(f"error: no benchmark snapshots in {args.results_dir}",
+                  file=sys.stderr)
+            return 2
+        entry = regression.append_history(history, metrics,
+                                          timestamp=time.time(),
+                                          note=args.note)
+        print(f"recorded {len(metrics)} metrics to {history} "
+              f"(entry ts {entry['ts']:.0f})")
+        return 0
+
+    try:
+        report = regression.run_check(args.results_dir,
+                                      history_path=history,
+                                      threshold_pct=args.threshold)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -65,6 +65,7 @@ _LAZY = {
     "SweepExecutor": ("repro.exec.executor", "SweepExecutor"),
     "SweepFailure": ("repro.exec.resilience", "SweepFailure"),
     "SweepProgress": ("repro.obs.progress", "SweepProgress"),
+    "SpanTracer": ("repro.obs.spans", "SpanTracer"),
     "Telemetry": ("repro.obs", "Telemetry"),
     "TelemetrySnapshot": ("repro.obs.snapshot", "TelemetrySnapshot"),
     "EventTrace": ("repro.obs.trace", "EventTrace"),
@@ -118,6 +119,7 @@ __all__ = [
     "RunOptions",
     "RunResult",
     "SimConfig",
+    "SpanTracer",
     "SubChannel",
     "SweepCheckpoint",
     "SweepExecutor",

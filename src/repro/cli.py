@@ -9,6 +9,10 @@ Subcommands:
 * ``report`` — run experiments and write a combined markdown report.
 * ``stats <journal.jsonl>`` — summarise a telemetry run journal.
 * ``trace <events.jsonl>`` — analyse a DRFM/RLP mitigation event trace.
+* ``spans <spans.json>`` — analyse a sweep span trace (critical path,
+  per-worker breakdown, Chrome-trace export for Perfetto).
+* ``bench check|record`` — the benchmark-regression observatory: gate
+  the committed benchmark snapshots against ``BENCH_history.jsonl``.
 * ``storage <t_rh>`` — print the full-size storage comparison.
 * ``security <t_rh>`` — print the revised DREAM-R parameters.
 * ``plan <t_rh>`` — recommend a deployment for a slowdown budget.
@@ -16,9 +20,10 @@ Subcommands:
 ``run`` and ``report`` accept the telemetry flags ``--journal FILE``
 (JSONL run journal), ``--metrics-out FILE`` (metrics snapshot JSON),
 ``--profile`` (wall-clock phase table), ``--trace FILE`` (bounded
-mitigation event trace for ``trace``) and ``--sample-every N``
-(timeline cadence in tREFI).  Telemetry is off unless one of these is
-given, and enabling it does not change any simulated result.
+mitigation event trace for ``trace``), ``--spans FILE`` (hierarchical
+sweep span trace for ``spans``) and ``--sample-every N`` (timeline
+cadence in tREFI).  Telemetry is off unless one of these is given, and
+enabling it does not change any simulated result.
 
 They also accept the sweep-execution flags ``--jobs N`` (fan simulation
 cells over N worker processes; ``0`` = all cores), ``--cache-dir DIR``
@@ -65,6 +70,16 @@ environment variables (command-line flags always win):
   REPRO_FAULTS=SPEC    deterministic fault injection for soak testing,
                        e.g. "crash:*:1;hang:ab@2;corrupt:cd" — see
                        docs/parallel.md for the grammar
+
+observability workflows:
+  dream-repro run fig5 --spans spans.json      record a sweep span trace
+  dream-repro spans spans.json                 critical path + breakdown
+  dream-repro spans spans.json --chrome-trace out.json
+                                               export for Perfetto
+  dream-repro bench check                      gate committed benchmark
+                                               snapshots against history
+  dream-repro bench record --note "..."        append current numbers to
+                                               BENCH_history.jsonl
 """
 
 
@@ -77,7 +92,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def _build_telemetry(args: argparse.Namespace):
     """Construct a Telemetry from CLI flags, or ``None`` if all are off."""
     if not (args.journal or args.metrics_out or args.profile
-            or args.trace):
+            or args.trace or args.spans):
         return None
     from repro.obs import Telemetry
     from repro.obs.timeline import DEFAULT_SAMPLE_EVERY_REFI
@@ -86,7 +101,8 @@ def _build_telemetry(args: argparse.Namespace):
     return Telemetry(journal_path=args.journal,
                      sample_every_refi=sample_every,
                      profile=args.profile,
-                     trace=bool(args.trace))
+                     trace=bool(args.trace),
+                     spans=bool(args.spans))
 
 
 def _emit_telemetry(args: argparse.Namespace, telemetry) -> None:
@@ -110,6 +126,11 @@ def _emit_telemetry(args: argparse.Namespace, telemetry) -> None:
             if telemetry.trace.dropped else ""
         print(f"trace written to {args.trace} "
               f"({len(telemetry.trace)} events){suffix}", file=sys.stderr)
+    if args.spans:
+        telemetry.write_spans(args.spans)
+        print(f"spans written to {args.spans} "
+              f"({telemetry.spans.span_count()} spans); analyse with "
+              f"'dream-repro spans {args.spans}'", file=sys.stderr)
     if args.profile:
         print()
         print("== wall-clock profile ==")
@@ -294,11 +315,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _load_journal_or_die(path: str) -> list[dict]:
-    """Load a journal file, exiting 2 with a clear message on failure."""
-    from repro.obs.journal import load_journal
+    """Load a journal file, exiting 2 with a clear message on failure.
+
+    A journal whose records carry a *newer* schema version than this
+    build also exits 2 — the analyzers would misread or crash on record
+    shapes they do not know, and "upgrade repro" is the actionable fix.
+    """
+    from repro.obs.journal import (SCHEMA_VERSION, load_journal,
+                                   unsupported_schema)
 
     try:
-        return load_journal(path)
+        records = load_journal(path)
     except OSError as error:
         print(f"error: cannot read journal {path}: {error}",
               file=sys.stderr)
@@ -307,6 +334,13 @@ def _load_journal_or_die(path: str) -> list[dict]:
         print(f"error: {path} is not a valid JSONL journal: {error}",
               file=sys.stderr)
         raise SystemExit(2)
+    newest = unsupported_schema(records)
+    if newest is not None:
+        print(f"error: {path} uses journal schema v{newest}, newer "
+              f"than the supported v{SCHEMA_VERSION}; upgrade repro to "
+              f"read this journal", file=sys.stderr)
+        raise SystemExit(2)
+    return records
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -398,6 +432,57 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_spans(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.analysis.spans import (SpansFormatError, chrome_trace,
+                                      load_spans, render_spans)
+
+    try:
+        doc = load_spans(args.spans)
+    except SpansFormatError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    print(render_spans(doc, top=args.top))
+    if args.chrome_trace:
+        trace = chrome_trace(doc.roots)
+        with open(args.chrome_trace, "w", encoding="utf-8") as handle:
+            json_module.dump(trace, handle)
+            handle.write("\n")
+        print(f"chrome trace written to {args.chrome_trace} "
+              f"({len(trace['traceEvents'])} events); open in "
+              f"https://ui.perfetto.dev", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.analysis import regression
+
+    history = args.history or os.path.join(args.results_dir,
+                                           regression.HISTORY_FILE)
+    if args.action == "record":
+        metrics = regression.collect_metrics(args.results_dir)
+        if not metrics:
+            print(f"error: no benchmark snapshots found under "
+                  f"{args.results_dir!r}", file=sys.stderr)
+            raise SystemExit(2)
+        entry = regression.append_history(history, metrics, time.time(),
+                                          note=args.note)
+        print(f"recorded {len(metrics)} metrics to {history} "
+              f"(ts={entry['ts']})")
+        return 0
+    try:
+        report = regression.run_check(args.results_dir, history,
+                                      threshold_pct=args.threshold)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def _cmd_storage(args: argparse.Namespace) -> int:
     comparison = compare_storage(args.t_rh)
     print(f"T_RH = {comparison.t_rh}")
@@ -474,6 +559,9 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sample-every", type=int, metavar="N",
                         help="timeline sampling period in tREFI "
                              "(default 8)")
+    parser.add_argument("--spans", metavar="FILE",
+                        help="write a hierarchical sweep span trace "
+                             "(JSON) for the `spans` subcommand")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -535,6 +623,46 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--width", type=int, default=40,
                               help="histogram bar width in columns")
     trace_parser.set_defaults(func=_cmd_trace)
+
+    spans_parser = sub.add_parser(
+        "spans", help="analyse a sweep span trace (--spans output): "
+                      "critical path, per-worker breakdown, "
+                      "Chrome-trace export")
+    spans_parser.add_argument("spans", help="spans file to read "
+                                            "(--spans FILE output)")
+    spans_parser.add_argument("--chrome-trace", metavar="OUT",
+                              help="also export Chrome trace-event JSON "
+                                   "(loadable in Perfetto)")
+    spans_parser.add_argument("--top", type=int, default=10,
+                              help="critical-path depth to print "
+                                   "(default 10)")
+    spans_parser.set_defaults(func=_cmd_spans)
+
+    bench_parser = sub.add_parser(
+        "bench", help="benchmark-regression observatory over the "
+                      "committed snapshot files")
+    bench_parser.add_argument("action", choices=("check", "record"),
+                              help="check = gate current snapshots "
+                                   "against history (exit 1 on "
+                                   "regression); record = append them "
+                                   "to the history log")
+    bench_parser.add_argument("--results-dir",
+                              default="benchmarks/results",
+                              metavar="DIR",
+                              help="directory holding BENCH_*.json "
+                                   "(default benchmarks/results)")
+    bench_parser.add_argument("--history", metavar="FILE",
+                              help="history JSONL (default "
+                                   "<results-dir>/BENCH_history.jsonl)")
+    bench_parser.add_argument("--threshold", type=float, default=20.0,
+                              metavar="PCT",
+                              help="regression threshold in percent; "
+                                   "best AND median must both drop "
+                                   "beyond it (default 20)")
+    bench_parser.add_argument("--note", default="",
+                              help="free-form note stored with a "
+                                   "recorded entry")
+    bench_parser.set_defaults(func=_cmd_bench)
 
     storage_parser = sub.add_parser("storage",
                                     help="storage comparison at a threshold")

@@ -29,16 +29,41 @@ import dataclasses
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.exec.fingerprint import CACHE_SCHEMA_VERSION
+from repro.obs import runtime as obs_runtime
 from repro.obs.snapshot import (TelemetrySnapshot, snapshot_from_doc,
                                 snapshot_to_doc)
 from repro.sim.results import RunResult
 
 _RESULT_FIELDS = frozenset(
     field.name for field in dataclasses.fields(RunResult))
+
+#: Bucket bounds (µs, inclusive) of the cache-hit service-time
+#: histogram.  Hits are dominated by JSON decode of the entry plus the
+#: telemetry sidecar, so the range spans sub-100µs result-only hits
+#: through multi-ms sidecar replays on slow filesystems.
+HIT_LATENCY_BUCKETS_US = (50, 100, 250, 500, 1000, 2500, 5000,
+                          10000, 25000, 50000)
+
+
+def _observe_hit_latency(seconds: float) -> None:
+    """Record one cache-hit service time into the ambient registry.
+
+    The ``exec.`` prefix routes it to the execution-side section of the
+    metrics snapshot (wall-clock, excluded from the deterministic
+    ``metrics`` comparison), and hits are recorded parent-side only, so
+    the histogram never rides a worker snapshot merge.
+    """
+    telemetry = obs_runtime.active()
+    if telemetry is None:
+        return
+    telemetry.registry.histogram(
+        "exec.cache.hit_latency_us",
+        HIT_LATENCY_BUCKETS_US).observe(seconds * 1e6)
 
 
 @dataclass
@@ -84,10 +109,12 @@ class RunCache:
     # ------------------------------------------------------------------
     def get(self, fingerprint: str) -> RunResult | None:
         """The cached result, or ``None`` on miss/corruption."""
+        started = time.perf_counter()
         result = self._load_result(fingerprint)
         if result is None:
             return None
         self.stats.hits += 1
+        _observe_hit_latency(time.perf_counter() - started)
         return result
 
     def get_with_telemetry(self, fingerprint: str) \
@@ -99,6 +126,7 @@ class RunCache:
         silently serves telemetry-blind results to an instrumented run —
         the cell recomputes and stores the artifact for next time.
         """
+        started = time.perf_counter()
         result = self._load_result(fingerprint)
         if result is None:
             return None
@@ -107,6 +135,7 @@ class RunCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        _observe_hit_latency(time.perf_counter() - started)
         return result, snapshot
 
     def _load_result(self, fingerprint: str) -> RunResult | None:

@@ -53,6 +53,7 @@ metrics and journals (see ``docs/observability.md``).
 
 from __future__ import annotations
 
+import os
 import sys
 import threading
 import time
@@ -74,6 +75,7 @@ from repro.obs import runtime as obs_runtime
 from repro.obs.progress import SweepProgress
 from repro.obs.snapshot import (CaptureSpec, TelemetrySnapshot,
                                 capture_snapshot, merge_snapshot)
+from repro.obs.spans import KIND_ATTEMPT, KIND_CELL, KIND_SWEEP
 from repro.sim.config import SimConfig, SystemConfig
 from repro.sim.results import RunResult
 from repro.workloads.profiles import WorkloadProfile
@@ -152,14 +154,24 @@ def _execute_cell(cell: Cell, fp: str | None = None, attempt: int = 0,
                                 cell.policy, cell.policy_name)
         return result, time.perf_counter() - started, None
     local = capture.build()
-    with local.phase("build_traces"):
-        traces = build_traces(cell.workload, cell.trace_system, cell.sim)
-    started = time.perf_counter()
-    with local.phase(f"run:{cell.policy_name}"):
-        result = run_simulation(cell.run_system, traces, cell.sim,
-                                cell.policy, cell.policy_name,
-                                telemetry=local)
-    seconds = time.perf_counter() - started
+    # The attempt span is exec-side: which attempt succeeded and in
+    # which process is execution detail, spliced out of the normalized
+    # tree while its phase children survive.
+    attempt_span = local.spans.begin(
+        "attempt", kind=KIND_ATTEMPT, exec_side=True,
+        meta={"attempt": attempt, "pid": os.getpid()})
+    try:
+        with local.phase("build_traces"):
+            traces = build_traces(cell.workload, cell.trace_system,
+                                  cell.sim)
+        started = time.perf_counter()
+        with local.phase(f"run:{cell.policy_name}"):
+            result = run_simulation(cell.run_system, traces, cell.sim,
+                                    cell.policy, cell.policy_name,
+                                    telemetry=local)
+        seconds = time.perf_counter() - started
+    finally:
+        local.spans.end(attempt_span)
     return result, seconds, capture_snapshot(local)
 
 
@@ -297,6 +309,8 @@ class SweepExecutor:
             self._pool_disabled = True
             self.stats.fallbacks += 1
             self._obs_inc("exec.fallbacks")
+            self._span_event("pool_fallback",
+                             {"breaks": self._pool_breaks})
             print(f"[repro.exec] worker pool failed "
                   f"{self._pool_breaks} times; falling back to "
                   f"in-process serial execution", file=sys.stderr)
@@ -324,22 +338,54 @@ class SweepExecutor:
         telemetry = obs_runtime.active()
         capture = CaptureSpec.from_telemetry(telemetry) \
             if telemetry is not None else None
+        tracer = telemetry.spans if telemetry is not None else None
+        sweep_span = None if tracer is None else tracer.begin(
+            "sweep", kind=KIND_SWEEP, meta={"cells": len(cells)})
         if self.progress is not None:
             self.progress.add_cells(len(cells))
         try:
-            results, snaps = self._run(cells, failures, capture)
+            try:
+                results, snaps = self._run(cells, failures, capture)
+            finally:
+                if self.progress is not None:
+                    self.progress.finish()
+            if telemetry is not None:
+                self._merge_all(telemetry, tracer, cells, snaps)
         finally:
-            if self.progress is not None:
-                self.progress.finish()
-        if telemetry is not None:
-            for snap in snaps:
-                if snap is not None:
-                    merge_snapshot(telemetry, snap)
+            if sweep_span is not None:
+                tracer.end(sweep_span)
         self.stats.wall_seconds += time.perf_counter() - started
         if failures:
             self.failures.extend(failures)
             raise SweepFailure(failures)
         return results
+
+    def _merge_all(self, telemetry, tracer, cells: list[Cell],
+                   snaps: list[TelemetrySnapshot | None]) -> None:
+        """Merge cell snapshots in submission order.
+
+        With span tracing on, each snapshot is merged inside a ``cell``
+        span so the worker-recorded subtree (attempt → phases → engine)
+        grafts under it; cell spans carry only structural metadata, so
+        the normalized tree is identical across execution modes.
+        """
+        for index, snap in enumerate(snaps):
+            if snap is None:
+                continue
+            if tracer is None:
+                merge_snapshot(telemetry, snap)
+                continue
+            cell = cells[index]
+            span = tracer.begin(
+                f"{cell.workload.name}/{cell.policy_name}",
+                kind=KIND_CELL,
+                meta={"workload": cell.workload.name,
+                      "policy": cell.policy_name, "index": index},
+                rebase=True)
+            try:
+                merge_snapshot(telemetry, snap)
+            finally:
+                tracer.end(span)
 
     def _run(self, cells: list[Cell], failures: list[FailedCell],
              capture: CaptureSpec | None):
@@ -431,6 +477,9 @@ class SweepExecutor:
                     if self.policy.timeout_s else "attempt timed out")
                 self.stats.timeouts += 1
                 self._obs_inc("exec.timeouts")
+                self._span_event("timeout",
+                                 {"policy": cell.policy_name,
+                                  "attempt": attempt})
             except BrokenExecutor as exc:
                 kind = "pool"
                 error = f"{type(exc).__name__}: {exc}"
@@ -444,6 +493,9 @@ class SweepExecutor:
                 self.stats.failed += 1
                 self._obs_inc("exec.failed")
                 self._progress("failed")
+                self._span_event("cell_failed",
+                                 {"policy": cell.policy_name,
+                                  "kind": kind})
                 return FailedCell(
                     fingerprint=fp or "(unfingerprintable)",
                     workload=cell.workload.name,
@@ -452,6 +504,9 @@ class SweepExecutor:
             self.stats.retries += 1
             self._obs_inc("exec.retries")
             self._progress("retried")
+            self._span_event("retry", {"policy": cell.policy_name,
+                                       "kind": kind,
+                                       "attempt": attempt})
             time.sleep(self.policy.backoff(fp or cell.policy_name,
                                            attempt))
             submitted = self._submit(cell, fp, attempt, capture)
@@ -513,6 +568,12 @@ class SweepExecutor:
         if telemetry is not None:
             telemetry.registry.counter(name).inc()
 
+    def _span_event(self, name: str, meta: dict | None = None) -> None:
+        """Record an exec-side event on the open sweep span, if any."""
+        tracer = obs_runtime.active_spans()
+        if tracer is not None:
+            tracer.event(name, meta)
+
     def _progress(self, kind: str, seconds: float | None = None) -> None:
         if self.progress is not None:
             self.progress.record(kind, seconds)
@@ -536,6 +597,7 @@ class SweepExecutor:
             if capture is None or snap is not None:
                 self.stats.memo_hits += 1
                 self._progress("hit")
+                self._span_event("memo_hit", {"fingerprint": fp[:12]})
                 return result, (snap if capture is not None else None)
         if self.cache is not None:
             if capture is not None:
@@ -550,6 +612,8 @@ class SweepExecutor:
                 if resumed:
                     self.stats.resumed += 1
                 self._progress("resumed" if resumed else "hit")
+                self._span_event("resumed" if resumed else "cache_hit",
+                                 {"fingerprint": fp[:12]})
                 self._memo[fp] = (result, snap)
                 return result, snap
         return None

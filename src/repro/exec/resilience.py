@@ -159,6 +159,9 @@ def validate_snapshot(snapshot) -> str | None:
     if not isinstance(snapshot, TelemetrySnapshot):
         return (f"expected TelemetrySnapshot, got "
                 f"{type(snapshot).__name__}")
+    if not isinstance(snapshot.spans, list):
+        return (f"snapshot spans section is "
+                f"{type(snapshot.spans).__name__}, expected list")
     return None
 
 

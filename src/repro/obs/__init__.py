@@ -20,7 +20,9 @@ The facade wires four independent pieces together:
   events (analysed by ``repro trace``);
 * :mod:`repro.obs.snapshot`  — picklable per-cell snapshots plus the
   deterministic cross-process merge used by ``repro.exec``;
-* :mod:`repro.obs.progress`  — TTY-aware live sweep progress reporter.
+* :mod:`repro.obs.progress`  — TTY-aware live sweep progress reporter;
+* :mod:`repro.obs.spans`     — opt-in hierarchical span tracing across
+  the sweep fabric (exported by ``repro spans``).
 
 Telemetry never perturbs simulation results: it only reads simulator
 state and maintains its own side structures, so identical seeds produce
@@ -39,6 +41,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 
 from repro.dram.commands import Command
 from repro.obs import runtime
@@ -56,6 +59,8 @@ from repro.obs.snapshot import (CaptureSpec, SNAPSHOT_SCHEMA_VERSION,
                                 merge_snapshot, snapshot_from_doc,
                                 snapshot_to_doc)
 from repro.obs.progress import SweepProgress
+from repro.obs.spans import (SPANS_SCHEMA_VERSION, Span, SpanTracer,
+                             normalized_tree, span_from_doc, span_to_doc)
 
 __all__ = [
     "CaptureSpec",
@@ -73,6 +78,9 @@ __all__ = [
     "RunJournal",
     "SCHEMA_VERSION",
     "SNAPSHOT_SCHEMA_VERSION",
+    "SPANS_SCHEMA_VERSION",
+    "Span",
+    "SpanTracer",
     "Stopwatch",
     "SubchannelTelemetry",
     "SweepProgress",
@@ -84,8 +92,11 @@ __all__ = [
     "capture_snapshot",
     "load_journal",
     "merge_snapshot",
+    "normalized_tree",
     "read_journal",
     "runtime",
+    "span_from_doc",
+    "span_to_doc",
     "snapshot_from_doc",
     "snapshot_to_doc",
 ]
@@ -166,6 +177,10 @@ class Telemetry:
         individual mitigation events for the ``repro trace`` analyzer.
     trace_limit:
         Event capacity of that trace.
+    spans:
+        Record a hierarchical :class:`~repro.obs.spans.SpanTracer` of
+        sweep execution (exported by ``repro spans``).  Off by default;
+        every span site guards on ``telemetry.spans is None``.
     """
 
     def __init__(self, journal_path: str | None = None,
@@ -173,7 +188,8 @@ class Telemetry:
                  sample_every_refi: int = DEFAULT_SAMPLE_EVERY_REFI,
                  profile: bool = False,
                  trace: bool = False,
-                 trace_limit: int = DEFAULT_TRACE_LIMIT) -> None:
+                 trace_limit: int = DEFAULT_TRACE_LIMIT,
+                 spans: bool = False) -> None:
         self.registry = MetricsRegistry()
         self.journal: RunJournal | None = None
         if journal_path is not None:
@@ -186,6 +202,7 @@ class Telemetry:
         self.profile = profile
         self.trace: EventTrace | None = \
             EventTrace(trace_limit) if trace else None
+        self.spans: SpanTracer | None = SpanTracer() if spans else None
         self.run_index = -1
         self._channels: dict[int, SubchannelTelemetry] = {}
         self._finalized = False
@@ -202,8 +219,20 @@ class Telemetry:
         return channel
 
     def phase(self, name: str):
-        """Context manager timing one wall-clock phase."""
-        return self.profiler.phase(name)
+        """Context manager timing one wall-clock phase.
+
+        With span tracing on, the same region is also recorded as a
+        ``phase`` span, so profiler totals and the span tree describe
+        the same boundaries.
+        """
+        if self.spans is None:
+            return self.profiler.phase(name)
+        return self._phase_with_span(name)
+
+    @contextmanager
+    def _phase_with_span(self, name: str):
+        with self.spans.span(name), self.profiler.phase(name):
+            yield
 
     # ------------------------------------------------------------------
     # Run lifecycle (called by the simulation runner)
@@ -284,6 +313,38 @@ class Telemetry:
             with handle:
                 json.dump(self.snapshot(), handle, indent=2,
                           sort_keys=True)
+                handle.write("\n")
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def spans_doc(self) -> dict:
+        """Span forest plus profiling context, JSON-serialisable.
+
+        This is the on-disk format of ``--spans FILE`` and the input of
+        the ``repro spans`` analyzer; profiling rides along so the
+        critical path can be sanity-checked against phase wall time.
+        """
+        tracer = self.spans if self.spans is not None else SpanTracer()
+        return {
+            "schema": SPANS_SCHEMA_VERSION,
+            "profiling": self.profiler.snapshot(),
+            "spans": tracer.to_docs(),
+        }
+
+    def write_spans(self, path: str) -> None:
+        """Dump :meth:`spans_doc` as JSON to ``path``, atomically."""
+        directory = os.path.dirname(os.path.abspath(path))
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=directory,
+            prefix=".spans.", suffix=".tmp", delete=False)
+        try:
+            with handle:
+                json.dump(self.spans_doc(), handle, indent=2)
                 handle.write("\n")
             os.replace(handle.name, path)
         except BaseException:

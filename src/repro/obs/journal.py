@@ -119,3 +119,20 @@ def read_journal(path: str) -> Iterator[dict]:
 def load_journal(path: str) -> list[dict]:
     """All records of a JSONL journal file as a list."""
     return list(read_journal(path))
+
+
+def unsupported_schema(records) -> int | None:
+    """Highest record schema version beyond this build, or ``None``.
+
+    Journals written by a newer repro may carry record shapes this
+    build cannot interpret; the analyzers (``repro stats`` /
+    ``repro trace``) use this to refuse cleanly instead of misreading
+    or crashing partway through.
+    """
+    newest = None
+    for record in records:
+        version = record.get("v")
+        if isinstance(version, int) and version > SCHEMA_VERSION:
+            if newest is None or version > newest:
+                newest = version
+    return newest

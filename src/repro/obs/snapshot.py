@@ -43,7 +43,9 @@ from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.timeline import DEFAULT_SAMPLE_EVERY_REFI, TimelineSample
 
 #: Version stamped into snapshot documents; bump on breaking changes.
-SNAPSHOT_SCHEMA_VERSION = 1
+#: v2 added the ``spans`` section — v1 sidecars are treated as misses so
+#: the cell recomputes and the artifact is rewritten complete.
+SNAPSHOT_SCHEMA_VERSION = 2
 
 #: TimelineSample field names, in declaration order (pickle/JSON shape).
 _SAMPLE_FIELDS = tuple(f.name for f in dataclasses.fields(TimelineSample))
@@ -68,10 +70,17 @@ class CaptureSpec:
         return cls(sample_every_refi=telemetry.timeline.sample_every_refi)
 
     def build(self):
-        """A fresh in-memory capture telemetry for one cell."""
+        """A fresh in-memory capture telemetry for one cell.
+
+        Spans are always recorded here (same principle as the always-on
+        in-memory journal): the snapshot must be complete so a cached
+        sidecar can serve a later spans-enabled sweep even if the sweep
+        that wrote it had spans off.
+        """
         from repro.obs import Telemetry
         return Telemetry(journal_memory=True,
-                         sample_every_refi=self.sample_every_refi)
+                         sample_every_refi=self.sample_every_refi,
+                         spans=True)
 
 
 @dataclass
@@ -84,7 +93,9 @@ class TelemetrySnapshot:
     "overflow": n, "count": n, "total": x}``); ``journal`` holds the
     cell's journal records verbatim; ``timeline`` holds full-precision
     ``dataclasses.asdict`` forms of every :class:`TimelineSample`;
-    ``phases``/``throughput`` carry the profiling totals.
+    ``phases``/``throughput`` carry the profiling totals; ``spans``
+    holds the cell's span subtree in document form (see
+    :mod:`repro.obs.spans`).
     """
 
     metrics: dict = field(default_factory=dict)
@@ -92,6 +103,7 @@ class TelemetrySnapshot:
     timeline: list = field(default_factory=list)
     phases: dict = field(default_factory=dict)
     throughput: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
     schema: int = SNAPSHOT_SCHEMA_VERSION
 
 
@@ -120,6 +132,7 @@ def capture_snapshot(telemetry) -> TelemetrySnapshot:
     timeline = [dataclasses.asdict(sample)
                 for sample in telemetry.timeline.samples]
     throughput_gauge = telemetry.profiler.throughput
+    spans = [] if telemetry.spans is None else telemetry.spans.to_docs()
     return TelemetrySnapshot(
         metrics=metrics,
         journal=journal,
@@ -128,6 +141,7 @@ def capture_snapshot(telemetry) -> TelemetrySnapshot:
         throughput={"events": throughput_gauge.events,
                     "seconds": throughput_gauge.seconds,
                     "intervals": throughput_gauge.intervals},
+        spans=spans,
     )
 
 
@@ -185,6 +199,8 @@ def merge_snapshot(telemetry, snapshot: TelemetrySnapshot) -> None:
     telemetry.profiler.throughput.absorb(
         throughput.get("events", 0), throughput.get("seconds", 0.0),
         throughput.get("intervals", 0))
+    if telemetry.spans is not None and snapshot.spans:
+        telemetry.spans.graft_docs(snapshot.spans)
 
 
 def snapshot_to_doc(snapshot: TelemetrySnapshot) -> dict:
@@ -196,6 +212,7 @@ def snapshot_to_doc(snapshot: TelemetrySnapshot) -> dict:
         "timeline": snapshot.timeline,
         "phases": snapshot.phases,
         "throughput": snapshot.throughput,
+        "spans": snapshot.spans,
     }
 
 
@@ -215,10 +232,12 @@ def snapshot_from_doc(doc) -> TelemetrySnapshot | None:
     timeline = doc.get("timeline")
     phases = doc.get("phases")
     throughput = doc.get("throughput")
+    spans = doc.get("spans")
     if not isinstance(metrics, dict) or not isinstance(journal, list) \
             or not isinstance(timeline, list) \
             or not isinstance(phases, dict) \
-            or not isinstance(throughput, dict):
+            or not isinstance(throughput, dict) \
+            or not isinstance(spans, list):
         return None
     if not all(isinstance(record, dict) for record in journal):
         return None
@@ -226,6 +245,8 @@ def snapshot_from_doc(doc) -> TelemetrySnapshot | None:
         if not isinstance(sample, dict) \
                 or tuple(sample) != _SAMPLE_FIELDS:
             return None
+    if not all(isinstance(span, dict) for span in spans):
+        return None
     return TelemetrySnapshot(metrics=metrics, journal=journal,
                              timeline=timeline, phases=phases,
-                             throughput=throughput)
+                             throughput=throughput, spans=spans)

@@ -44,6 +44,7 @@ from repro.cpu.core import Core
 from repro.mc.controller import MemoryController
 from repro.mc.policy import PolicyFactory
 from repro.obs import runtime as obs_runtime
+from repro.obs.spans import KIND_ENGINE
 from repro.sim.config import SimConfig, SystemConfig
 from repro.sim.engine import EventQueue
 from repro.sim.results import ComparisonResult, RunResult
@@ -150,9 +151,15 @@ def run_simulation(system: SystemConfig, traces: list[MemoryTrace],
                             row_col[index]))
             sequence += 1
     loop_started = 0.0
+    spans = None
+    loop_span = None
     if telemetry is not None:
         telemetry.timeline.queue_depth = lambda: len(heap)
         loop_started = time.perf_counter()
+        spans = telemetry.spans
+        if spans is not None:
+            # Span begin/end brackets the loop — zero per-event cost.
+            loop_span = spans.begin("engine:event_loop", kind=KIND_ENGINE)
     completed = 0
     end_time = 0
     try:
@@ -180,8 +187,14 @@ def run_simulation(system: SystemConfig, traces: list[MemoryTrace],
         # Telemetry and poison later runs' timeline samples.
         if telemetry is not None:
             telemetry.timeline.queue_depth = None
+        if loop_span is not None:
+            spans.end(loop_span, meta={"events": completed})
     loop_seconds = (time.perf_counter() - loop_started
                     if telemetry is not None else 0.0)
+    if spans is not None:
+        with spans.span("engine:finish", kind=KIND_ENGINE):
+            return _finish(mc, cores, workload, policy_name, completed,
+                           end_time, system, telemetry, loop_seconds)
     return _finish(mc, cores, workload, policy_name, completed, end_time,
                    system, telemetry, loop_seconds)
 
@@ -212,9 +225,14 @@ def run_simulation_reference(system: SystemConfig,
             request, gap = fetched
             queue.push(gap, request)
     loop_started = 0.0
+    spans = None
+    loop_span = None
     if telemetry is not None:
         telemetry.timeline.queue_depth = lambda: len(queue)
         loop_started = time.perf_counter()
+        spans = telemetry.spans
+        if spans is not None:
+            loop_span = spans.begin("engine:event_loop", kind=KIND_ENGINE)
     completed = 0
     end_time = 0
     try:
@@ -234,8 +252,14 @@ def run_simulation_reference(system: SystemConfig,
     finally:
         if telemetry is not None:
             telemetry.timeline.queue_depth = None
+        if loop_span is not None:
+            spans.end(loop_span, meta={"events": completed})
     loop_seconds = (time.perf_counter() - loop_started
                     if telemetry is not None else 0.0)
+    if spans is not None:
+        with spans.span("engine:finish", kind=KIND_ENGINE):
+            return _finish(mc, cores, workload, policy_name, completed,
+                           end_time, system, telemetry, loop_seconds)
     return _finish(mc, cores, workload, policy_name, completed, end_time,
                    system, telemetry, loop_seconds)
 

@@ -1,0 +1,190 @@
+"""The benchmark-history ledger and the noise-aware regression gate."""
+
+import json
+
+import pytest
+
+from repro.analysis.regression import (DEFAULT_THRESHOLD_PCT,
+                                       HISTORY_SCHEMA_VERSION,
+                                       append_history,
+                                       baseline_from_history,
+                                       check_metrics, collect_metrics,
+                                       load_history, run_check)
+
+
+def _figures(best, median):
+    return {"best": float(best), "median": float(median)}
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "BENCH_engine.json").write_text(json.dumps({
+        "baseline": {"configs": {
+            "mint": {"events_per_sec": 100}}},  # historical, ignored
+        "current": {"configs": {
+            "mint": {"events_per_sec": 400_000,
+                     "median_events_per_sec": 380_000},
+            "none": {"events_per_sec": 700_000,
+                     "median_events_per_sec": 650_000}}}}))
+    (results / "BENCH_obs.json").write_text(json.dumps({
+        "configs": {
+            "off": {"events_per_sec": 500_000,
+                    "median_events_per_sec": 480_000},
+            "on+spans": {"events_per_sec": 450_000,
+                         "median_events_per_sec": 430_000}}}))
+    return str(results)
+
+
+class TestCollect:
+    def test_flattens_both_snapshots(self, results_dir):
+        metrics = collect_metrics(results_dir)
+        assert set(metrics) == {"engine.mint", "engine.none",
+                                "obs.off", "obs.on+spans"}
+        assert metrics["engine.mint"] == _figures(400_000, 380_000)
+        assert metrics["obs.on+spans"] == _figures(450_000, 430_000)
+
+    def test_missing_directory_collects_nothing(self, tmp_path):
+        assert collect_metrics(str(tmp_path / "nowhere")) == {}
+
+    def test_median_falls_back_to_best(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "BENCH_obs.json").write_text(json.dumps({
+            "configs": {"on": {"events_per_sec": 1000}}}))
+        metrics = collect_metrics(str(results))
+        assert metrics["obs.on"] == _figures(1000, 1000)
+
+
+class TestHistory:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        entry = append_history(path, {"m": _figures(10, 9)},
+                               timestamp=1000.0, note="first")
+        assert entry["schema"] == HISTORY_SCHEMA_VERSION
+        append_history(path, {"m": _figures(12, 11)}, timestamp=2000.0)
+        entries = load_history(path)
+        assert len(entries) == 2
+        assert entries[0]["note"] == "first"
+        assert entries[1]["metrics"]["m"] == _figures(12, 11)
+
+    def test_torn_and_foreign_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(str(path), {"m": _figures(10, 9)},
+                       timestamp=1.0)
+        with open(path, "a") as handle:
+            handle.write('{"schema": 999, "metrics": {}}\n')
+            handle.write("not json at all\n")
+            handle.write('{"schema": 1, "metr')  # torn final line
+        assert len(load_history(str(path))) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_history(str(tmp_path / "absent.jsonl")) == []
+
+    def test_baseline_is_elementwise_ratchet(self):
+        entries = [
+            {"metrics": {"a": _figures(10, 8), "b": _figures(5, 5)}},
+            {"metrics": {"a": _figures(9, 12), "c": _figures(1, 1)}},
+        ]
+        baseline = baseline_from_history(entries)
+        # Best-of and median-of ratchet independently.
+        assert baseline["a"] == _figures(10, 12)
+        assert baseline["b"] == _figures(5, 5)
+        assert baseline["c"] == _figures(1, 1)
+
+
+class TestGate:
+    BASE = {"m": _figures(1000, 900)}
+
+    def test_no_drop_passes(self):
+        assert check_metrics({"m": _figures(1000, 900)}, self.BASE) == []
+
+    def test_both_figures_must_drop(self):
+        # Best collapses but the median holds: noise, not a regression.
+        assert check_metrics({"m": _figures(500, 900)}, self.BASE) == []
+        # Median collapses but the best holds: same.
+        assert check_metrics({"m": _figures(1000, 400)},
+                             self.BASE) == []
+
+    def test_real_regression_is_reported_with_percentages(self):
+        regressions = check_metrics({"m": _figures(500, 450)},
+                                    self.BASE)
+        assert len(regressions) == 1
+        regression = regressions[0]
+        assert regression.metric == "m"
+        assert regression.drop_best_pct == pytest.approx(50.0)
+        assert regression.drop_median_pct == pytest.approx(50.0)
+        assert "m:" in regression.describe()
+
+    def test_drop_at_threshold_is_not_a_regression(self):
+        exactly = {"m": _figures(
+            1000 * (1 - DEFAULT_THRESHOLD_PCT / 100),
+            900 * (1 - DEFAULT_THRESHOLD_PCT / 100))}
+        assert check_metrics(exactly, self.BASE) == []
+
+    def test_new_metric_without_baseline_never_regresses(self):
+        assert check_metrics({"fresh": _figures(1, 1)}, self.BASE) == []
+
+
+class TestRunCheck:
+    def test_passes_after_recording(self, results_dir, tmp_path):
+        history = str(tmp_path / "history.jsonl")
+        append_history(history, collect_metrics(results_dir),
+                       timestamp=1.0)
+        report = run_check(results_dir, history_path=history)
+        assert report.ok
+        assert report.history_entries == 1
+        assert "no regressions" in report.describe()
+
+    def test_injected_20pct_regression_fails_named(self, results_dir,
+                                                   tmp_path):
+        history = str(tmp_path / "history.jsonl")
+        append_history(history, collect_metrics(results_dir),
+                       timestamp=1.0)
+        engine = json.loads(
+            open(results_dir + "/BENCH_engine.json").read())
+        config = engine["current"]["configs"]["none"]
+        config["events_per_sec"] = round(
+            config["events_per_sec"] * 0.75)
+        config["median_events_per_sec"] = round(
+            config["median_events_per_sec"] * 0.75)
+        with open(results_dir + "/BENCH_engine.json", "w") as handle:
+            json.dump(engine, handle)
+        report = run_check(results_dir, history_path=history)
+        assert not report.ok
+        assert [regression.metric
+                for regression in report.regressions] == ["engine.none"]
+        assert "REGRESSIONS:" in report.describe()
+        assert "engine.none" in report.describe()
+
+    def test_no_snapshots_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError,
+                           match="no benchmark snapshots"):
+            run_check(str(tmp_path / "empty"))
+
+    def test_no_history_raises_with_seeding_hint(self, results_dir,
+                                                 tmp_path):
+        with pytest.raises(FileNotFoundError,
+                           match="repro bench record"):
+            run_check(results_dir,
+                      history_path=str(tmp_path / "absent.jsonl"))
+
+    def test_improvement_does_not_tighten_until_recorded(
+            self, results_dir, tmp_path):
+        history = str(tmp_path / "history.jsonl")
+        append_history(history, collect_metrics(results_dir),
+                       timestamp=1.0)
+        # Snapshots improve 2x without a record: still passes, and the
+        # baseline stays at the recorded level.
+        engine = json.loads(
+            open(results_dir + "/BENCH_engine.json").read())
+        for config in engine["current"]["configs"].values():
+            config["events_per_sec"] *= 2
+            config["median_events_per_sec"] *= 2
+        with open(results_dir + "/BENCH_engine.json", "w") as handle:
+            json.dump(engine, handle)
+        report = run_check(results_dir, history_path=history)
+        assert report.ok
+        assert report.baseline["engine.mint"] == \
+            _figures(400_000, 380_000)

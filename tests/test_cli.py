@@ -139,17 +139,19 @@ class TestTelemetryFlags:
         assert not args.profile
         assert args.trace is None
         assert args.sample_every is None
+        assert args.spans is None
 
     def test_flags_parse(self):
         args = build_parser().parse_args(
             ["run", "fig9", "--journal", "j.jsonl", "--metrics-out",
              "m.json", "--profile", "--trace", "t.jsonl",
-             "--sample-every", "4"])
+             "--sample-every", "4", "--spans", "s.json"])
         assert args.journal == "j.jsonl"
         assert args.metrics_out == "m.json"
         assert args.profile
         assert args.trace == "t.jsonl"
         assert args.sample_every == 4
+        assert args.spans == "s.json"
 
     def test_report_accepts_flags_too(self):
         args = build_parser().parse_args(
@@ -385,6 +387,19 @@ class TestStats:
         assert "not a valid JSONL journal" in err
         assert "Traceback" not in err
 
+    @pytest.mark.parametrize("command", ["stats", "trace"])
+    def test_newer_schema_journal_exits_2(self, tmp_path, capsys,
+                                          command):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"v": 99, "kind": "run_start", "run": 0}\n')
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, str(path)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "journal schema v99" in err
+        assert "upgrade repro" in err
+        assert "Traceback" not in err
+
 
 class TestTrace:
     @pytest.fixture
@@ -439,3 +454,122 @@ class TestTrace:
         assert f"trace written to {trace}" in err
         assert main(["trace", trace]) == 0
         assert "== policy:" in capsys.readouterr().out
+
+
+class TestSpansCommand:
+    @pytest.fixture
+    def spans_path(self, tmp_path, capsys):
+        path = str(tmp_path / "spans.json")
+        assert main(["run", "ablation-atm", "--json",
+                     "--requests", "500", "--spans", path]) == 0
+        err = capsys.readouterr().err
+        assert f"spans written to {path}" in err
+        return path
+
+    def test_cli_spans_flag_roundtrip(self, spans_path, capsys):
+        assert main(["spans", spans_path]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("spans: ")
+        assert "10 cells" in out
+        assert "critical path:" in out
+        assert "per-worker breakdown" in out
+
+    def test_chrome_trace_export(self, spans_path, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "chrome.json"
+        assert main(["spans", spans_path,
+                     "--chrome-trace", str(target)]) == 0
+        err = capsys.readouterr().err
+        assert "chrome trace written" in err
+        trace = json.loads(target.read_text())
+        assert {event["ph"] for event in trace["traceEvents"]} >= \
+            {"X", "M"}
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["spans", str(tmp_path / "nope.json")])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "cannot read spans file" in err
+        assert "Traceback" not in err
+
+    def test_newer_schema_exits_2(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema": 99, "spans": []}))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["spans", str(path)])
+        assert excinfo.value.code == 2
+        assert "upgrade repro" in capsys.readouterr().err
+
+
+class TestBench:
+    @pytest.fixture
+    def results_dir(self, tmp_path):
+        import json
+
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "BENCH_engine.json").write_text(json.dumps({
+            "current": {"configs": {
+                "mint": {"events_per_sec": 400_000,
+                         "median_events_per_sec": 380_000}}}}))
+        (results / "BENCH_obs.json").write_text(json.dumps({
+            "configs": {
+                "on": {"events_per_sec": 300_000,
+                       "median_events_per_sec": 290_000}}}))
+        return str(results)
+
+    def test_record_then_check_passes(self, results_dir, capsys):
+        assert main(["bench", "record", "--results-dir", results_dir,
+                     "--note", "seed"]) == 0
+        assert "recorded 2 metrics" in capsys.readouterr().out
+        assert main(["bench", "check",
+                     "--results-dir", results_dir]) == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+        assert "engine.mint" in out and "obs.on" in out
+
+    def test_check_without_history_exits_2(self, results_dir, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "check", "--results-dir", results_dir])
+        assert excinfo.value.code == 2
+        assert "repro bench record" in capsys.readouterr().err
+
+    def test_record_without_snapshots_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "record",
+                  "--results-dir", str(tmp_path / "empty")])
+        assert excinfo.value.code == 2
+        assert "no benchmark snapshots" in capsys.readouterr().err
+
+    def test_injected_regression_fails_and_names_metric(
+            self, results_dir, capsys):
+        import json
+        import os
+
+        assert main(["bench", "record",
+                     "--results-dir", results_dir]) == 0
+        capsys.readouterr()
+        engine = os.path.join(results_dir, "BENCH_engine.json")
+        doc = json.loads(open(engine).read())
+        config = doc["current"]["configs"]["mint"]
+        config["events_per_sec"] = 200_000       # -50% best
+        config["median_events_per_sec"] = 190_000  # -50% median
+        with open(engine, "w") as handle:
+            json.dump(doc, handle)
+        assert main(["bench", "check",
+                     "--results-dir", results_dir]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSIONS:" in out
+        assert "engine.mint" in out
+        # The untouched metric stays quiet.
+        assert main(["bench", "check", "--results-dir", results_dir,
+                     "--threshold", "60"]) == 0
+
+    def test_committed_repo_baselines_pass(self, capsys):
+        # The in-repo gate: frozen snapshots vs the recorded history.
+        assert main(["bench", "check"]) == 0
+        assert "no regressions" in capsys.readouterr().out

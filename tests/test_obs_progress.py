@@ -35,13 +35,42 @@ class TestRendering:
         progress.finish()
         assert stream.getvalue().count("\n") == 1
 
-    def test_non_tty_stays_silent(self):
+    def test_non_tty_prints_plain_lines(self):
         stream = io.StringIO()
-        progress = SweepProgress(stream=stream)
+        progress = SweepProgress(stream=stream, plain_interval_s=0.0)
         progress.add_cells(3)
         progress.record("hit")
         progress.finish()
-        assert stream.getvalue() == ""
+        out = stream.getvalue()
+        assert "\r" not in out
+        lines = out.splitlines()
+        assert lines[0] == "[repro.exec] 0/3 cells"
+        assert any("1/3 cells  hit=1" in line for line in lines)
+        assert lines[-1].endswith("done")
+
+    def test_non_tty_throttles_between_updates(self):
+        stream = io.StringIO()
+        progress = SweepProgress(stream=stream, plain_interval_s=3600.0)
+        progress.add_cells(3)
+        for _ in range(3):
+            progress.record("computed", seconds=0.0)
+        progress.finish()
+        # Only the opening line and the final summary get through.
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[0] == "[repro.exec] 0/3 cells"
+        assert lines[1] == "[repro.exec] 3/3 cells  computed=3  done"
+
+    def test_non_tty_finish_is_idempotent_until_new_cells(self):
+        stream = io.StringIO()
+        progress = SweepProgress(stream=stream, plain_interval_s=3600.0)
+        progress.add_cells(1)
+        progress.finish()
+        progress.finish()
+        assert stream.getvalue().count("done") == 1
+        progress.add_cells(1)
+        progress.finish()
+        assert stream.getvalue().count("done") == 2
 
     def test_shorter_line_is_padded_clean(self):
         stream = _Tty()

@@ -204,3 +204,54 @@ class TestDocRoundTrip:
         doc = json.loads(json.dumps(doc))
         doc["timeline"][0].pop("rlp")
         assert snapshot_from_doc(doc) is None
+
+
+class TestSpansInSnapshots:
+    def _spanned_capture(self) -> TelemetrySnapshot:
+        # Capture telemetry always records spans (CaptureSpec.build
+        # sets spans=True) so sidecars serve later spans-enabled runs.
+        local = CaptureSpec(sample_every_refi=5).build()
+        assert local.spans is not None
+        with local.spans.span("attempt", exec_side=True):
+            with local.spans.span("run:none"):
+                pass
+        return capture_snapshot(local)
+
+    def test_spans_ride_capture_and_doc_round_trip(self):
+        snap = self._spanned_capture()
+        assert len(snap.spans) == 1
+        doc = json.loads(json.dumps(snapshot_to_doc(snap)))
+        restored = snapshot_from_doc(doc)
+        assert restored is not None
+        assert restored.spans == snap.spans
+
+    def test_merge_grafts_into_spans_enabled_parent(self):
+        snap = self._spanned_capture()
+        parent = Telemetry(spans=True)
+        merge_snapshot(parent, snap)
+        assert [root.name for root in parent.spans.roots] == ["attempt"]
+        assert [child.name
+                for child in parent.spans.roots[0].children] == \
+            ["run:none"]
+        # The snapshot itself stays replayable.
+        merge_snapshot(Telemetry(spans=True), snap)
+        assert len(snap.spans) == 1
+
+    def test_merge_into_spans_off_parent_is_a_noop(self):
+        parent = Telemetry()
+        merge_snapshot(parent, self._spanned_capture())
+        assert parent.spans is None
+
+    def test_malformed_spans_section_rejected(self):
+        doc = snapshot_to_doc(self._spanned_capture())
+        for bad in ({}, "spans", [17]):
+            mutated = dict(doc)
+            mutated["spans"] = bad
+            assert snapshot_from_doc(mutated) is None
+
+    def test_v1_docs_are_rejected_as_stale(self):
+        # Pre-spans sidecars (schema v1) must read as cache misses so
+        # the cell recomputes and rewrites a complete artifact.
+        doc = snapshot_to_doc(self._spanned_capture())
+        doc["schema"] = 1
+        assert snapshot_from_doc(doc) is None
