@@ -1,11 +1,19 @@
-"""Benchmark: raw single-run engine throughput (the PR-5 hot path).
+"""Benchmark: engine throughput — single cells and whole sweeps.
 
 Measures ``run_simulation`` events/sec on two fixed cells:
 
 * **none** — the unprotected baseline (pure core/controller/bank path);
 * **mint** — mcf under coupled MINT + DRFMsb (the mitigation-heavy
   configuration ``bench_obs.py`` also uses), which is the cell the
-  1.5x acceptance criterion is judged on.
+  PR-5 1.5x acceptance criterion is judged on.
+
+PR 7 adds the **whole-sweep** configs the batched backend is judged on
+(``scalar.sweep`` / ``batched.sweep``): a ``SWEEP_CELLS``-cell
+policy-free grid (mcf, seed-varied) run end-to-end through each
+backend, traces prebuilt outside the timed region.  The acceptance
+criterion is ``batched.sweep`` >= 5x ``scalar.sweep`` best events/s;
+both feed the ``repro bench check`` ratchet as ``engine.scalar.sweep``
+and ``engine.batched.sweep``.
 
 Each cell runs one untimed warmup round and then ``ROUNDS`` timed
 rounds, reporting **best-of-N** (minimum wall time — the cleanest
@@ -36,6 +44,7 @@ import statistics
 import time
 
 from repro.mc.mitigation import coupled_mint_factory
+from repro.sim.batched import BatchItem, run_batch
 from repro.sim.config import SimConfig, SystemConfig
 from repro.sim.runner import run_simulation
 from repro.workloads import build_traces
@@ -47,6 +56,11 @@ ROUNDS = 7
 REQUESTS = 4_000
 WORKLOAD = "mcf"
 T_RH = 500
+#: Whole-sweep grid: the largest single batch the planner emits
+#: (``MAX_BATCH_CELLS``), seed-varied so no two cells share traces.
+SWEEP_CELLS = 512
+SWEEP_REQUESTS = 500
+SWEEP_ROUNDS = 3
 #: Functions whose cumulative share makes up the per-stage profile.
 PROFILE_STAGES = {
     "service": "controller.service",
@@ -85,6 +99,50 @@ def _measure(config: str) -> dict:
         "median_events_per_sec": round(statistics.median(rates)),
         "events": events,
         "rounds": ROUNDS,
+    }
+
+
+def _sweep_members():
+    """(system, [(sim, traces), ...]) for the whole-sweep grid.
+
+    Traces are built once, outside the timed region — the sweep configs
+    measure engine dispatch, not trace generation."""
+    system = SystemConfig.baseline(refs_per_window=32)
+    members = []
+    for index in range(SWEEP_CELLS):
+        sim = SimConfig(requests_per_core=SWEEP_REQUESTS,
+                        seed=1_000 + index)
+        traces = build_traces(WORKLOAD, system, sim, calibrate=False)
+        members.append((sim, traces))
+    return system, members
+
+
+def _measure_sweep(backend: str, system, members) -> dict:
+    """Warmup + best/median-of-SWEEP_ROUNDS whole-sweep events/sec."""
+    def run_all() -> int:
+        if backend == "batched":
+            results = run_batch(system, [
+                BatchItem(traces=traces, sim=sim)
+                for sim, traces in members])
+        else:
+            results = [run_simulation(system, traces, sim, None, "none")
+                       for sim, traces in members]
+        return sum(result.requests_completed for result in results)
+
+    run_all()  # warmup: memoizes each engine's trace columns/packings
+    rates: list[float] = []
+    events = 0
+    for _ in range(SWEEP_ROUNDS):
+        started = time.perf_counter()
+        events = run_all()
+        wall_s = time.perf_counter() - started
+        rates.append(events / wall_s)
+    return {
+        "events_per_sec": round(max(rates)),
+        "median_events_per_sec": round(statistics.median(rates)),
+        "events": events,
+        "rounds": SWEEP_ROUNDS,
+        "cells": SWEEP_CELLS,
     }
 
 
@@ -140,6 +198,10 @@ def _update_engine_snapshot(results: dict, profile: list[dict]) -> None:
     current_rate = results["mint"]["events_per_sec"]
     snapshot["speedup"] = (round(current_rate / baseline_rate, 3)
                            if baseline_rate else 0.0)
+    scalar_sweep = results.get("scalar.sweep", {}).get("events_per_sec")
+    batched_sweep = results.get("batched.sweep", {}).get("events_per_sec")
+    if scalar_sweep and batched_sweep:
+        snapshot["sweep_speedup"] = round(batched_sweep / scalar_sweep, 3)
     snapshot["workload"] = WORKLOAD
     snapshot["requests_per_core"] = REQUESTS
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -150,6 +212,10 @@ def _update_engine_snapshot(results: dict, profile: list[dict]) -> None:
 def run_bench(verbose: bool = True) -> dict:
     """Measure every config + the stage profile; persist the snapshot."""
     results = {config: _measure(config) for config in ("none", "mint")}
+    system, members = _sweep_members()
+    for backend in ("scalar", "batched"):
+        results[f"{backend}.sweep"] = _measure_sweep(backend, system,
+                                                     members)
     profile = _stage_profile()
     _update_engine_snapshot(results, profile)
     if verbose:
@@ -164,6 +230,9 @@ def run_bench(verbose: bool = True) -> dict:
                   f"{stage['calls']:,} calls")
         snapshot = json.loads(ENGINE_SNAPSHOT.read_text())
         print(f"[engine] speedup vs baseline: {snapshot['speedup']}x")
+        if "sweep_speedup" in snapshot:
+            print(f"[engine] whole-sweep batched vs scalar: "
+                  f"{snapshot['sweep_speedup']}x")
     return results
 
 

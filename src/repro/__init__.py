@@ -55,6 +55,8 @@ __version__ = "1.0.0"
 #: registry pulls in the whole experiment suite, and the executor would
 #: cycle back through ``repro.sim`` while this module is initialising.
 _LAZY = {
+    "BatchCellError": ("repro.sim.batched", "BatchCellError"),
+    "BatchItem": ("repro.sim.batched", "BatchItem"),
     "CellPolicy": ("repro.exec.resilience", "CellPolicy"),
     "ExperimentResult": ("repro.experiments.common", "ExperimentResult"),
     "FailedCell": ("repro.exec.resilience", "FailedCell"),
@@ -71,7 +73,10 @@ _LAZY = {
     "EventTrace": ("repro.obs.trace", "EventTrace"),
     "exec_runtime": ("repro.exec.runtime", None),
     "obs_runtime": ("repro.obs.runtime", None),
+    "run_batch": ("repro.sim.batched", "run_batch"),
     "run_experiment": ("repro.experiments.registry", "run_experiment"),
+    "run_simulation_batched": ("repro.sim.batched",
+                               "run_simulation_batched"),
 }
 
 
@@ -95,6 +100,8 @@ def __dir__():
 
 __all__ = [
     "ActiveTargetMonitor",
+    "BatchCellError",
+    "BatchItem",
     "CellPolicy",
     "Command",
     "ComparisonResult",
@@ -147,7 +154,9 @@ __all__ = [
     "profile",
     "profiles_for",
     "revised_parameters",
+    "run_batch",
     "run_comparison",
     "run_experiment",
     "run_simulation",
+    "run_simulation_batched",
 ]

@@ -111,12 +111,22 @@ class Cell:
         }
 
 
-def cell_fingerprint(cell: Cell) -> str | None:
-    """Content fingerprint of ``cell``, or ``None`` if not spec-backed."""
+def cell_fingerprint(cell: Cell, backend: str = "scalar") -> str | None:
+    """Content fingerprint of ``cell``, or ``None`` if not spec-backed.
+
+    ``backend`` participates in the fingerprint whenever it deviates
+    from the scalar reference engine: batched results are byte-identical
+    by contract, but keying them separately means a cache can never mask
+    an identity regression — and scalar fingerprints (the historical
+    format) are unchanged.
+    """
     if not (cell.policy is None or isinstance(cell.policy, PolicySpec)):
         return None
+    parts = cell.key()
+    if backend != "scalar":
+        parts["backend"] = backend
     try:
-        return fingerprint(**cell.key())
+        return fingerprint(**parts)
     except FingerprintError:
         return None
 
@@ -175,6 +185,76 @@ def _execute_cell(cell: Cell, fp: str | None = None, attempt: int = 0,
     return result, seconds, capture_snapshot(local)
 
 
+def _execute_batch(cells: list[Cell], fps: list[str | None],
+                   capture: CaptureSpec | None = None) -> list:
+    """Run one batch-compatible cell group (worker/parent entry point).
+
+    Returns one outcome per cell, in order: either the same
+    ``(result, seconds, snapshot)`` tuple :func:`_execute_cell`
+    produces, or a :class:`~repro.sim.batched.BatchCellError` when that
+    member failed — a failing member never takes its batch-mates down,
+    so the executor caches the survivors and retries only the loser.
+
+    Members are engine-batched through
+    :func:`~repro.sim.batched.run_batch`; under telemetry ``capture``
+    each member instead runs the identity-pinned scalar engine with its
+    own private capture (instrumentation samples per-event state at
+    scalar rate anyway), still inside this single dispatch.  Fault
+    injection stays per-member, keyed on each member's fingerprint at
+    attempt 0.
+    """
+    from repro.sim.batched import BatchCellError, BatchItem, run_batch
+    from repro.workloads.builder import build_traces
+
+    outcomes: list = [None] * len(cells)
+    members: list[int] = []
+    items: list = []
+    for index, cell in enumerate(cells):
+        try:
+            corrupt = faults.inject_before(fps[index], 0)
+        except Exception as exc:  # noqa: BLE001 — isolate the member
+            error = BatchCellError(index, f"{type(exc).__name__}: {exc}")
+            error.cause = exc
+            outcomes[index] = error
+            continue
+        if corrupt is not None:
+            outcomes[index] = (faults.CORRUPT_SENTINEL, 0.0, None)
+            continue
+        if capture is not None:
+            try:
+                outcomes[index] = _execute_cell(cell, capture=capture)
+            except Exception as exc:  # noqa: BLE001
+                error = BatchCellError(index,
+                                       f"{type(exc).__name__}: {exc}")
+                error.cause = exc
+                outcomes[index] = error
+            continue
+        try:
+            traces = build_traces(cell.workload, cell.trace_system,
+                                  cell.sim)
+        except Exception as exc:  # noqa: BLE001
+            error = BatchCellError(index, f"{type(exc).__name__}: {exc}")
+            error.cause = exc
+            outcomes[index] = error
+            continue
+        members.append(index)
+        items.append(BatchItem(traces=traces, sim=cell.sim,
+                               policy_factory=cell.policy,
+                               policy_name=cell.policy_name,
+                               telemetry=None))
+    if items:
+        run_system = cells[members[0]].run_system
+        started = time.perf_counter()
+        results = run_batch(run_system, items, collect_errors=True)
+        share = (time.perf_counter() - started) / len(items)
+        for index, result in zip(members, results):
+            if isinstance(result, BatchCellError):
+                outcomes[index] = BatchCellError(index, result.message)
+            else:
+                outcomes[index] = (result, share, None)
+    return outcomes
+
+
 @dataclass
 class ExecutorStats:
     """Work accounting across one executor's lifetime."""
@@ -182,6 +262,7 @@ class ExecutorStats:
     cells: int = 0
     computed: int = 0
     inline: int = 0
+    batched: int = 0
     memo_hits: int = 0
     resumed: int = 0
     retries: int = 0
@@ -203,6 +284,8 @@ class ExecutorStats:
         line = (f"cells={self.cells} computed={self.computed} "
                 f"memo_hits={self.memo_hits} inline={self.inline} "
                 f"retries={self.retries} timeouts={self.timeouts}")
+        if self.batched:
+            line += f" batched={self.batched}"
         if self.resumed:
             line += f" resumed={self.resumed}"
         if self.failed:
@@ -237,6 +320,17 @@ class SweepExecutor:
         Optional :class:`~repro.obs.progress.SweepProgress` fed with
         cell-level events (submitted / hit / resumed / computed /
         retried / failed) for live reporting.
+    backend:
+        Engine backend for computed cells: ``"scalar"`` (reference,
+        default), ``"batched"`` or ``"auto"``.  Non-scalar backends run
+        :func:`~repro.experiments.common.plan_backends` over each
+        submitted cell list and dispatch compatible groups through the
+        columnar batch engine — byte-identical results, one Python
+        dispatch per step for the whole group.  A per-attempt
+        ``timeout_s`` disables batching (the batch engine has no
+        per-member timeout), and a member that fails inside a batch is
+        retried alone on the scalar path while its batch-mates are
+        cached normally.
     """
 
     #: Pool breakages tolerated before degrading to serial execution.
@@ -245,14 +339,20 @@ class SweepExecutor:
     def __init__(self, jobs: int = 1, cache: RunCache | None = None,
                  policy: CellPolicy | None = None,
                  checkpoint: SweepCheckpoint | None = None,
-                 progress: SweepProgress | None = None) -> None:
+                 progress: SweepProgress | None = None,
+                 backend: str = "scalar") -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if backend not in ("scalar", "batched", "auto"):
+            raise ValueError("backend must be one of "
+                             "('scalar', 'batched', 'auto'), "
+                             f"got {backend!r}")
         self.jobs = jobs
         self.cache = cache
         self.policy = policy if policy is not None else CellPolicy()
         self.checkpoint = checkpoint
         self.progress = progress
+        self.backend = backend
         self.stats = ExecutorStats()
         self.failures: list[FailedCell] = []
         #: fingerprint -> (result, snapshot-or-None); snapshots are kept
@@ -318,7 +418,8 @@ class SweepExecutor:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run_cells(self, cells: list[Cell]) -> list[RunResult]:
+    def run_cells(self, cells: list[Cell],
+                  plan=None) -> list[RunResult]:
         """Execute ``cells`` and return results in submission order.
 
         Cells that fail terminally (retry budget exhausted) are reported
@@ -331,6 +432,10 @@ class SweepExecutor:
         from memo/cache) and the snapshots are merged into the ambient
         telemetry here, in submission order — one merged run per cell
         occurrence, whatever the execution mode.
+
+        ``plan`` optionally pre-binds the backend assignment (a
+        :class:`~repro.experiments.common.BatchPlan` for exactly this
+        cell list); by default a non-scalar executor plans here.
         """
         started = time.perf_counter()
         self.stats.cells += len(cells)
@@ -345,7 +450,8 @@ class SweepExecutor:
             self.progress.add_cells(len(cells))
         try:
             try:
-                results, snaps = self._run(cells, failures, capture)
+                results, snaps = self._run(cells, failures, capture,
+                                           plan)
             finally:
                 if self.progress is not None:
                     self.progress.finish()
@@ -388,14 +494,24 @@ class SweepExecutor:
                 tracer.end(span)
 
     def _run(self, cells: list[Cell], failures: list[FailedCell],
-             capture: CaptureSpec | None):
+             capture: CaptureSpec | None, plan=None):
         results: list[RunResult | None] = [None] * len(cells)
         snaps: list[TelemetrySnapshot | None] = [None] * len(cells)
+        if plan is None and cells and self.backend != "scalar" \
+                and self.policy.timeout_s is None:
+            # Late import: experiments.common builds cells *from* this
+            # module, so the planner cannot be imported at module level.
+            from repro.experiments.common import plan_backends
+            plan = plan_backends(cells, self.backend)
+        backends = None if plan is None else plan.backends
+        fps: list[str | None] = [None] * len(cells)
         #: fingerprint -> indices still needing a computed result.
         pending: dict[str, list[int]] = {}
         inline: list[int] = []
         for index, cell in enumerate(cells):
-            fp = cell_fingerprint(cell)
+            fp = cell_fingerprint(
+                cell, "scalar" if backends is None else backends[index])
+            fps[index] = fp
             if fp is None:
                 inline.append(index)
                 continue
@@ -406,9 +522,31 @@ class SweepExecutor:
             else:
                 pending.setdefault(fp, []).append(index)
 
+        chunks = self._batch_chunks(plan, fps, pending, cells)
+        in_batches = {fp for _, chunk_fps in chunks for fp in chunk_fps}
+        singles = {fp: indices for fp, indices in pending.items()
+                   if fp not in in_batches}
+
+        use_pool = self._pool_usable() and \
+            (len(singles) + len(chunks)) > 1
+        batch_futures: list[tuple[list[Cell], list[str],
+                                  Future | None,
+                                  ProcessPoolExecutor | None]] = []
+        for chunk_cells, chunk_fps in chunks:
+            future = pool = None
+            if use_pool and self._pool_usable():
+                try:
+                    pool = self._pool_handle()
+                    future = pool.submit(_execute_batch, chunk_cells,
+                                         chunk_fps, capture)
+                except Exception:
+                    self._note_pool_failure(self._pool)
+                    future = pool = None
+            batch_futures.append((chunk_cells, chunk_fps, future, pool))
+
         futures: dict[str, tuple[Future, ProcessPoolExecutor]] = {}
-        if self._pool_usable() and len(pending) > 1:
-            for fp, indices in pending.items():
+        if use_pool:
+            for fp, indices in singles.items():
                 submitted = self._submit(cells[indices[0]], fp, 0, capture)
                 if submitted is None:
                     break  # pool just died; remaining cells run inline
@@ -422,7 +560,7 @@ class SweepExecutor:
             results[index] = result
             snaps[index] = snap
 
-        for fp, indices in pending.items():
+        for fp, indices in singles.items():
             future, pool = futures.pop(fp, (None, None))
             outcome = self._resolve_cell(fp, cells[indices[0]], future,
                                          pool, capture)
@@ -436,7 +574,102 @@ class SweepExecutor:
             for index in indices:
                 results[index] = result
                 snaps[index] = snap
+
+        for chunk_cells, chunk_fps, future, pool in batch_futures:
+            outcomes = None
+            if future is not None:
+                try:
+                    outcomes = future.result()
+                except BrokenExecutor:
+                    self._note_pool_failure(pool)
+                except Exception:
+                    outcomes = None
+            else:
+                try:
+                    outcomes = _execute_batch(chunk_cells, chunk_fps,
+                                              capture)
+                except Exception:
+                    outcomes = None
+            if outcomes is None or len(outcomes) != len(chunk_fps):
+                # The whole batch dispatch died (broken pool, engine
+                # construction error): every member retries alone.
+                outcomes = [None] * len(chunk_fps)
+            for member, fp in enumerate(chunk_fps):
+                outcome = self._finish_batch_member(
+                    chunk_cells[member], fp, outcomes[member], capture)
+                if isinstance(outcome, FailedCell):
+                    failures.append(outcome)
+                    continue
+                result, seconds, snap = outcome
+                self._account_computed(result, seconds)
+                self._store(fp, chunk_cells[member], result, snap)
+                self._mark_done(fp)
+                for index in pending[fp]:
+                    results[index] = result
+                    snaps[index] = snap
         return results, snaps
+
+    def _batch_chunks(self, plan, fps: list[str | None],
+                      pending: dict[str, list[int]],
+                      cells: list[Cell]) \
+            -> list[tuple[list[Cell], list[str]]]:
+        """Batched ``(cells, fingerprints)`` chunks still needing compute.
+
+        Plan groups are filtered to pending fingerprints and deduplicated
+        (one engine lane per unique cell, however often it recurs in the
+        sweep); with a usable pool each chunk is split evenly across the
+        workers so even a lone big batch saturates ``--jobs N``.
+        """
+        if plan is None or not plan.groups:
+            return []
+        chunks: list[tuple[list[Cell], list[str]]] = []
+        seen: set[str] = set()
+        for group in plan.groups:
+            chunk_cells: list[Cell] = []
+            chunk_fps: list[str] = []
+            for index in group:
+                fp = fps[index]
+                if fp is None or fp in seen or fp not in pending:
+                    continue
+                seen.add(fp)
+                chunk_cells.append(cells[index])
+                chunk_fps.append(fp)
+            if chunk_fps:
+                chunks.append((chunk_cells, chunk_fps))
+        if self._pool_usable() and chunks:
+            split: list[tuple[list[Cell], list[str]]] = []
+            for chunk_cells, chunk_fps in chunks:
+                parts = min(self.jobs, len(chunk_fps))
+                size = -(-len(chunk_fps) // parts)
+                for start in range(0, len(chunk_fps), size):
+                    split.append((chunk_cells[start:start + size],
+                                  chunk_fps[start:start + size]))
+            chunks = split
+        return chunks
+
+    def _finish_batch_member(self, cell: Cell, fp: str, outcome,
+                             capture: CaptureSpec | None):
+        """Accept one batch member's outcome, or retry it standalone.
+
+        A valid ``(result, seconds, snapshot)`` tuple is accepted as-is;
+        anything else — a :class:`~repro.sim.batched.BatchCellError`, a
+        corrupt result, a missing snapshot under capture — sends the
+        member through :meth:`_resolve_cell` alone with a fresh attempt
+        budget, so one bad cell never poisons its batch-mates.
+        """
+        if isinstance(outcome, tuple):
+            result, seconds, snap = outcome
+            problem = validate_result(result)
+            if problem is None and capture is not None:
+                problem = validate_snapshot(snap)
+            if problem is None:
+                self.stats.batched += 1
+                return result, seconds, snap
+        self.stats.retries += 1
+        self._obs_inc("exec.retries")
+        self._progress("retried")
+        self._span_event("batch_retry", {"policy": cell.policy_name})
+        return self._resolve_cell(fp, cell, None, None, capture)
 
     # ------------------------------------------------------------------
     # Resilience

@@ -26,7 +26,8 @@ from dataclasses import dataclass, field
 
 from repro.analysis.slowdown import SlowdownSeries
 from repro.exec import runtime as exec_runtime
-from repro.exec.executor import Cell, SweepExecutor
+from repro.exec.executor import Cell, SweepExecutor, cell_fingerprint
+from repro.exec.fingerprint import fingerprint as _fingerprint
 from repro.mc.policy import PolicyFactory
 from repro.sim.config import SimConfig, SystemConfig
 from repro.sim.results import ComparisonResult
@@ -46,6 +47,20 @@ DEFAULT_SEED = 2025
 
 #: Valid sweep modes: the representative subset or all 22 workloads.
 MODES = ("quick", "full")
+
+#: Valid engine backends: the scalar reference loop, the batched
+#: columnar loop, or automatic per-sweep selection.
+BACKENDS = ("scalar", "batched", "auto")
+
+#: ``auto`` engages the batched backend only when a compatible group
+#: has at least this many cells — below that the columnar setup cost
+#: outweighs the amortised dispatch.
+AUTO_BATCH_MIN = 4
+
+#: Largest single engine batch: beyond ~512 cells the stacked state
+#: arrays outgrow cache and per-event cost climbs back up (see
+#: ``benchmarks/bench_engine.py``); bigger groups are chunked.
+MAX_BATCH_CELLS = 512
 
 
 @dataclass(frozen=True)
@@ -76,6 +91,15 @@ class RunOptions:
         Resume from the sweep checkpoint next to the run cache, skipping
         cells a previous (interrupted) run already completed.  Only
         meaningful when a cache-backed executor is active.
+    backend:
+        Engine backend: ``"scalar"`` (the reference event loop,
+        default), ``"batched"`` (the columnar batch engine for every
+        compatible cell), or ``"auto"`` (batched only where
+        :func:`plan_backends` finds a group of at least
+        :data:`AUTO_BATCH_MIN` policy-free compatible cells).  All
+        backends produce byte-identical results; the choice only
+        affects throughput and cache fingerprints (non-scalar runs are
+        keyed separately).
     """
 
     mode: str = "quick"
@@ -84,6 +108,7 @@ class RunOptions:
     retries: int | None = None
     timeout_s: float | None = None
     resume: bool = False
+    backend: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -96,6 +121,9 @@ class RunOptions:
             raise ValueError("retries must be >= 0")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, "
+                             f"got {self.backend!r}")
 
     @property
     def quick(self) -> bool:
@@ -117,6 +145,8 @@ class RunOptions:
             parts.append(f"timeout_s={self.timeout_s:g}")
         if self.resume:
             parts.append("resume")
+        if self.backend != "scalar":
+            parts.append(f"backend={self.backend}")
         return " ".join(parts)
 
 
@@ -236,6 +266,75 @@ def sweep_cells(designs: list[DesignSpec],
                               policy=spec.factory,
                               policy_name=spec.name))
     return cells
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Resolved backend assignment for one cell list.
+
+    ``backends[i]`` is the engine the *i*-th cell runs on (``"scalar"``
+    or ``"batched"``); ``groups`` are the batched cell indices, one
+    tuple per engine invocation — every member of a group shares a
+    canonically-equal ``run_system`` and no group exceeds
+    :data:`MAX_BATCH_CELLS`.
+    """
+
+    backends: tuple[str, ...]
+    groups: tuple[tuple[int, ...], ...]
+
+    @property
+    def batched_cells(self) -> int:
+        return sum(len(group) for group in self.groups)
+
+
+def plan_backends(cells: list[Cell], backend: str = "scalar",
+                  max_batch: int = MAX_BATCH_CELLS) -> BatchPlan:
+    """Group compatible cells into engine batches.
+
+    A cell is *batchable* when it can cross a process boundary and be
+    cache-keyed (``policy`` is ``None`` or a spec, the cell
+    fingerprints) and its ``run_system`` models a single channel — the
+    batch engine's layout constraint.  Batchable cells are grouped by
+    canonically-equal ``run_system`` (the engine stacks state for one
+    hardware shape per invocation):
+
+    * ``backend="batched"`` batches every batchable cell, mitigation
+      policies included (their misses take the engine's escape hatch);
+    * ``backend="auto"`` batches only *policy-free* cells, and only
+      groups of at least :data:`AUTO_BATCH_MIN` — policy-bearing cells
+      escape on every miss, so batching them buys nothing, and tiny
+      groups don't amortise the columnar setup;
+    * ``backend="scalar"`` batches nothing.
+
+    The plan is a pure function of the cell list, so fingerprints
+    derived from it are stable across serial/parallel/cached runs.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, "
+                         f"got {backend!r}")
+    backends = ["scalar"] * len(cells)
+    if backend == "scalar":
+        return BatchPlan(backends=tuple(backends), groups=())
+    grouped: dict[str, list[int]] = {}
+    for index, cell in enumerate(cells):
+        if backend == "auto" and cell.policy is not None:
+            continue
+        if cell.run_system.organization.channels != 1:
+            continue
+        if cell_fingerprint(cell, backend="batched") is None:
+            continue
+        grouped.setdefault(_fingerprint(run_system=cell.run_system),
+                           []).append(index)
+    groups: list[tuple[int, ...]] = []
+    for indices in grouped.values():
+        if backend == "auto" and len(indices) < AUTO_BATCH_MIN:
+            continue
+        for start in range(0, len(indices), max_batch):
+            chunk = indices[start:start + max_batch]
+            groups.append(tuple(chunk))
+            for index in chunk:
+                backends[index] = "batched"
+    return BatchPlan(backends=tuple(backends), groups=tuple(groups))
 
 
 def sweep_designs(designs: list[DesignSpec],

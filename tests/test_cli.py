@@ -193,6 +193,27 @@ class TestExecFlags:
         assert args.requests == 500
         assert args.progress
 
+    def test_backend_flag_parses(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.backend == "scalar"
+        args = build_parser().parse_args(
+            ["run", "fig9", "--backend", "batched"])
+        assert args.backend == "batched"
+        args = build_parser().parse_args(
+            ["report", "--backend", "auto", "table1"])
+        assert args.backend == "auto"
+
+    def test_backend_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--backend", "gpu", "table1"])
+
+    def test_help_epilog_documents_backends(self):
+        from repro.cli import ENV_HELP
+        assert "engine backends" in ENV_HELP
+        assert "batched" in ENV_HELP
+        assert "auto" in ENV_HELP
+
     def test_report_accepts_flags_too(self):
         args = build_parser().parse_args(
             ["report", "--jobs", "2", "table1"])
@@ -209,6 +230,27 @@ class TestExecFlags:
         parallel, err = self._run_json(capsys, "--jobs", "2")
         assert parallel == serial
         assert "executor[jobs=2]" in err
+
+    def test_batched_backend_byte_identical_to_serial(self, capsys):
+        serial, _ = self._run_json(capsys)
+        for backend in ("batched", "auto"):
+            routed, err = self._run_json(capsys, "--backend", backend)
+            assert routed == serial
+            assert "executor[jobs=1]" in err
+
+    def test_batched_backend_composes_with_jobs_and_cache(self, tmp_path,
+                                                          capsys):
+        serial, _ = self._run_json(capsys)
+        cache = str(tmp_path / "runcache")
+        routed, err = self._run_json(capsys, "--backend", "batched",
+                                     "--jobs", "2",
+                                     "--cache-dir", cache)
+        assert routed == serial
+        warm, warm_err = self._run_json(capsys, "--backend", "batched",
+                                        "--jobs", "2",
+                                        "--cache-dir", cache)
+        assert warm == serial
+        assert "misses=0" in warm_err
 
     def test_warm_cache_run_byte_identical_and_all_hits(self, tmp_path,
                                                         capsys):

@@ -46,6 +46,7 @@ class TestRecord:
         dict(requests_per_core=0),
         dict(retries=-1),
         dict(timeout_s=0.0),
+        dict(backend="gpu"),
     ])
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
@@ -60,6 +61,13 @@ class TestRecord:
         text = RunOptions(mode="full", retries=3).describe()
         assert "mode=full" in text
         assert "retries=3" in text
+
+    def test_backend_defaults_scalar_and_describes(self):
+        assert RunOptions().backend == "scalar"
+        assert "backend" not in RunOptions().describe()
+        options = RunOptions(backend="batched")
+        assert not options.wants_resilience()  # backend is not a knob
+        assert "backend=batched" in options.describe()
 
 
 class TestEquivalence:
@@ -80,6 +88,19 @@ class TestEquivalence:
                 "ablation-atm", quick=True, seed=11,
                 requests_per_core=BUDGET)
         assert legacy.to_json() == modern.to_json()
+
+    @pytest.mark.parametrize("backend", ["batched", "auto"])
+    def test_backend_byte_identical(self, tiny_quick_subset, backend):
+        """The registry scopes a batched-backend executor around the
+        run and the output is byte-identical to scalar."""
+        scalar = registry.run_experiment(
+            "ablation-atm", RunOptions(seed=11,
+                                       requests_per_core=BUDGET))
+        clear_cache()
+        routed = registry.run_experiment(
+            "ablation-atm", RunOptions(seed=11, requests_per_core=BUDGET,
+                                       backend=backend))
+        assert routed.to_json() == scalar.to_json()
 
 
 class TestLegacyShim:
