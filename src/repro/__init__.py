@@ -27,10 +27,11 @@ Whole experiments run through the registry with one options record::
 
 The experiment harness (``run_experiment`` / :class:`RunOptions`), the
 sweep-execution substrate (:class:`SweepExecutor` / :class:`RunCache` /
-``exec_runtime``) and the observability entry points
-(:class:`Telemetry` / ``obs_runtime``) are part of the curated surface
-below; everything deeper is internal and may move between releases (see
-``docs/api.md``).
+``exec_runtime``), the sweep service (:class:`SweepService` /
+:class:`SweepClient` / :class:`JobScheduler`) and the observability
+entry points (:class:`Telemetry` / ``obs_runtime``) are part of the
+curated surface below; everything deeper is internal and may move
+between releases (see ``docs/api.md``).
 """
 
 from repro.core import (ActiveTargetMonitor, DreamCConfig, DreamCPolicy,
@@ -49,7 +50,7 @@ from repro.trackers import (abacus_factory, graphene_factory, moat_factory)
 from repro.workloads import (PROFILES, MemoryTrace, WorkloadProfile,
                              build_traces, profile, profiles_for)
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 #: Harness-level names resolved lazily: importing the experiment
 #: registry pulls in the whole experiment suite, and the executor would
@@ -61,12 +62,16 @@ _LAZY = {
     "ExperimentResult": ("repro.experiments.common", "ExperimentResult"),
     "FailedCell": ("repro.exec.resilience", "FailedCell"),
     "FaultPlan": ("repro.exec.faults", "FaultPlan"),
+    "JobScheduler": ("repro.service.jobs", "JobScheduler"),
     "RunCache": ("repro.exec.cache", "RunCache"),
     "RunOptions": ("repro.experiments.common", "RunOptions"),
+    "ServiceError": ("repro.service.client", "ServiceError"),
     "SweepCheckpoint": ("repro.exec.resilience", "SweepCheckpoint"),
+    "SweepClient": ("repro.service.client", "SweepClient"),
     "SweepExecutor": ("repro.exec.executor", "SweepExecutor"),
     "SweepFailure": ("repro.exec.resilience", "SweepFailure"),
     "SweepProgress": ("repro.obs.progress", "SweepProgress"),
+    "SweepService": ("repro.service.server", "SweepService"),
     "SpanTracer": ("repro.obs.spans", "SpanTracer"),
     "Telemetry": ("repro.obs", "Telemetry"),
     "TelemetrySnapshot": ("repro.obs.snapshot", "TelemetrySnapshot"),
@@ -116,6 +121,7 @@ __all__ = [
     "FailedCell",
     "FaultPlan",
     "GangMapper",
+    "JobScheduler",
     "MOPMapper",
     "MemoryController",
     "MemoryTrace",
@@ -125,13 +131,16 @@ __all__ = [
     "RunCache",
     "RunOptions",
     "RunResult",
+    "ServiceError",
     "SimConfig",
     "SpanTracer",
     "SubChannel",
     "SweepCheckpoint",
+    "SweepClient",
     "SweepExecutor",
     "SweepFailure",
     "SweepProgress",
+    "SweepService",
     "SystemConfig",
     "Telemetry",
     "TelemetrySnapshot",

@@ -1,0 +1,109 @@
+"""Unified artifact loading for the CLI subcommands.
+
+Every analyzer subcommand (``stats``, ``trace``, ``spans``, ``bench``)
+— and the service client commands (``jobs``, ``submit``) — consumes an
+artifact that can be missing, malformed, or written by a newer build.
+Historically each subcommand grew its own exit-2 handling; this module
+is the single taxonomy they all share now:
+
+* loaders raise :class:`ArtifactError` with a ready-to-print message
+  (no traceback, no prefix);
+* the CLI renders every such error identically — ``error: <message>``
+  on stderr, exit code 2;
+* artifacts carrying a *newer* schema version than this build always
+  say so and name the fix ("upgrade repro").
+
+Exit-code contract for subcommands consuming artifacts:
+
+* ``0`` — artifact loaded and the command succeeded;
+* ``1`` — artifact loaded but the command's own check failed (empty
+  journal, regression found, job failed);
+* ``2`` — the artifact itself is unusable (missing / invalid / newer
+  schema) or the sweep service is unreachable.
+"""
+
+from __future__ import annotations
+
+
+class ArtifactError(Exception):
+    """An artifact (file or service endpoint) the CLI cannot use.
+
+    ``str(error)`` is the complete, user-facing message; the CLI prints
+    it as ``error: <message>`` and exits with :attr:`exit_code`.
+    """
+
+    #: The taxonomy's exit code for unusable artifacts.
+    exit_code = 2
+
+
+def load_journal_records(path: str) -> list[dict]:
+    """Load a JSONL journal for ``stats``/``trace``.
+
+    Raises :class:`ArtifactError` when the file is unreadable, not
+    valid JSONL, or written by a newer journal schema.
+    """
+    from repro.obs.journal import (SCHEMA_VERSION, load_journal,
+                                   unsupported_schema)
+
+    try:
+        records = load_journal(path)
+    except OSError as error:
+        raise ArtifactError(
+            f"cannot read journal {path}: {error}") from None
+    except ValueError as error:
+        raise ArtifactError(
+            f"{path} is not a valid JSONL journal: {error}") from None
+    newest = unsupported_schema(records)
+    if newest is not None:
+        raise ArtifactError(
+            f"{path} uses journal schema v{newest}, newer than the "
+            f"supported v{SCHEMA_VERSION}; upgrade repro to read this "
+            f"journal")
+    return records
+
+
+def load_spans_doc(path: str):
+    """Load a spans document for ``spans``.
+
+    Raises :class:`ArtifactError` on unreadable/malformed/newer-schema
+    files (the underlying loader's messages already follow the
+    taxonomy, including the "upgrade repro" hint).
+    """
+    from repro.analysis.spans import SpansFormatError, load_spans
+
+    try:
+        return load_spans(path)
+    except SpansFormatError as error:
+        raise ArtifactError(str(error)) from None
+
+
+def load_bench_metrics(results_dir: str) -> dict:
+    """Collect current benchmark snapshot metrics for ``bench record``.
+
+    Raises :class:`ArtifactError` when no snapshots exist under
+    ``results_dir``.
+    """
+    from repro.analysis import regression
+
+    metrics = regression.collect_metrics(results_dir)
+    if not metrics:
+        raise ArtifactError(f"no benchmark snapshots found under "
+                            f"{results_dir!r}")
+    return metrics
+
+
+def run_bench_check(results_dir: str, history: str,
+                    threshold_pct: float):
+    """Run the benchmark-regression gate for ``bench check``.
+
+    Raises :class:`ArtifactError` when the snapshots or the history
+    ledger are missing (the regression module's message carries the
+    seeding hint).
+    """
+    from repro.analysis import regression
+
+    try:
+        return regression.run_check(results_dir, history,
+                                    threshold_pct=threshold_pct)
+    except FileNotFoundError as error:
+        raise ArtifactError(str(error)) from None

@@ -5,8 +5,13 @@ Subcommands:
 * ``list`` — show the available experiments (one per paper table/figure).
 * ``run <names...>`` — run experiments and print their result tables
   (``--mode full`` sweeps all 22 workloads; default is the quick
-  subset; ``--full`` is a deprecated alias).
+  subset).
 * ``report`` — run experiments and write a combined markdown report.
+* ``serve`` — start the long-running sweep service (async HTTP job
+  API over the shared run cache; see ``docs/service.md``).
+* ``submit <name>`` — submit one experiment to a running service,
+  stream its progress events, and print the result JSON.
+* ``jobs [id]`` — list a service's jobs (or show one job record).
 * ``stats <journal.jsonl>`` — summarise a telemetry run journal.
 * ``trace <events.jsonl>`` — analyse a DRFM/RLP mitigation event trace.
 * ``spans <spans.json>`` — analyse a sweep span trace (critical path,
@@ -16,6 +21,13 @@ Subcommands:
 * ``storage <t_rh>`` — print the full-size storage comparison.
 * ``security <t_rh>`` — print the revised DREAM-R parameters.
 * ``plan <t_rh>`` — recommend a deployment for a slowdown budget.
+
+Subcommands that consume an artifact (``stats``/``trace``/``spans``/
+``bench``) or a service endpoint (``submit``/``jobs``) share one error
+taxonomy (:mod:`repro.analysis.artifacts`): an unusable artifact or an
+unreachable service prints ``error: ...`` and exits 2; a loadable
+artifact whose check fails (empty journal, regression, failed job)
+exits 1.
 
 ``run`` and ``report`` accept the telemetry flags ``--journal FILE``
 (JSONL run journal), ``--metrics-out FILE`` (metrics snapshot JSON),
@@ -49,6 +61,7 @@ import argparse
 import os
 import sys
 
+from repro.analysis.artifacts import ArtifactError
 from repro.core.security import revised_parameters
 from repro.core.storage import compare_storage
 from repro.exec import runtime as exec_runtime
@@ -60,11 +73,17 @@ from repro.experiments.common import RunOptions
 from repro.obs import runtime as obs_runtime
 from repro.obs.profiling import Stopwatch
 
+#: Default sweep-service port (``repro serve`` / ``repro submit``).
+DEFAULT_SERVICE_PORT = 8731
+
 #: Environment-variable precedence, rendered into ``--help``.
 ENV_HELP = """\
 environment variables (command-line flags always win):
-  REPRO_FULL=1         default --mode full for run/report (and the
-                       benchmark harness); --mode/--full override it
+  REPRO_FULL=1         default --mode full for run/report/submit (and
+                       the benchmark harness); --mode overrides it
+  REPRO_SERVICE_URL    default service URL for submit/jobs when --url
+                       is not given (otherwise
+                       http://127.0.0.1:8731)
   REPRO_JOBS=N         default worker count when --jobs is not given
                        (0 = all cores)
   REPRO_CACHE_DIR=DIR  default run-cache directory when --cache-dir is
@@ -81,6 +100,13 @@ engine backends (--backend, results byte-identical across all three):
   auto                 batched only where a sweep has >= 4 compatible
                        policy-free cells (shared baselines); everything
                        else stays scalar
+
+sweep service workflows (docs/service.md):
+  dream-repro serve --cache-dir .svc-cache     start the job service
+  dream-repro submit fig9                      submit + stream + print
+                                               the deterministic result
+  dream-repro jobs                             list jobs and their
+                                               cache-coalescing counters
 
 observability workflows:
   dream-repro run fig5 --spans spans.json      record a sweep span trace
@@ -149,13 +175,11 @@ def _emit_telemetry(args: argparse.Namespace, telemetry) -> None:
 
 
 def _resolve_mode(args: argparse.Namespace) -> str:
-    """Sweep mode from ``--mode``, the deprecated ``--full`` alias, or
-    ``REPRO_FULL=1`` — in that precedence order."""
-    if getattr(args, "full", False):
-        print("[repro.cli] --full is deprecated; use --mode full",
-              file=sys.stderr)
-        if args.mode is None:
-            return "full"
+    """Sweep mode from ``--mode`` or ``REPRO_FULL=1``, in that order.
+
+    (The pre-2.0 ``--full`` alias was removed after its deprecation
+    cycle; spell it ``--mode full``.)
+    """
     if args.mode is not None:
         return args.mode
     return "full" if os.environ.get("REPRO_FULL", "") == "1" else "quick"
@@ -328,39 +352,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_journal_or_die(path: str) -> list[dict]:
-    """Load a journal file, exiting 2 with a clear message on failure.
+def _load_artifact(loader, *args):
+    """Run an artifact loader under the unified error taxonomy.
 
-    A journal whose records carry a *newer* schema version than this
-    build also exits 2 — the analyzers would misread or crash on record
-    shapes they do not know, and "upgrade repro" is the actionable fix.
+    Any :class:`ArtifactError` (missing / invalid / newer-schema
+    artifact, unreachable service) prints one consistent
+    ``error: <message>`` line on stderr and exits 2 — every subcommand
+    that consumes an artifact goes through here.
     """
-    from repro.obs.journal import (SCHEMA_VERSION, load_journal,
-                                   unsupported_schema)
-
     try:
-        records = load_journal(path)
-    except OSError as error:
-        print(f"error: cannot read journal {path}: {error}",
-              file=sys.stderr)
-        raise SystemExit(2)
-    except ValueError as error:
-        print(f"error: {path} is not a valid JSONL journal: {error}",
-              file=sys.stderr)
-        raise SystemExit(2)
-    newest = unsupported_schema(records)
-    if newest is not None:
-        print(f"error: {path} uses journal schema v{newest}, newer "
-              f"than the supported v{SCHEMA_VERSION}; upgrade repro to "
-              f"read this journal", file=sys.stderr)
-        raise SystemExit(2)
-    return records
+        return loader(*args)
+    except ArtifactError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(error.exit_code)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.artifacts import load_journal_records
     from repro.analysis.charts import bar_chart
 
-    records = _load_journal_or_die(args.journal)
+    records = _load_artifact(load_journal_records, args.journal)
     if not records:
         print(f"{args.journal}: empty journal")
         return 1
@@ -434,9 +445,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.artifacts import load_journal_records
     from repro.analysis.trace import analyze_trace, render_trace
 
-    records = _load_journal_or_die(args.trace)
+    records = _load_artifact(load_journal_records, args.trace)
     summaries = analyze_trace(records)
     if not any(summary.events for summary in summaries.values()):
         print(f"{args.trace}: no mitigation events "
@@ -449,14 +461,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_spans(args: argparse.Namespace) -> int:
     import json as json_module
 
-    from repro.analysis.spans import (SpansFormatError, chrome_trace,
-                                      load_spans, render_spans)
+    from repro.analysis.artifacts import load_spans_doc
+    from repro.analysis.spans import chrome_trace, render_spans
 
-    try:
-        doc = load_spans(args.spans)
-    except SpansFormatError as error:
-        print(f"error: {error}", file=sys.stderr)
-        raise SystemExit(2)
+    doc = _load_artifact(load_spans_doc, args.spans)
     print(render_spans(doc, top=args.top))
     if args.chrome_trace:
         trace = chrome_trace(doc.roots)
@@ -473,28 +481,145 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import time
 
     from repro.analysis import regression
+    from repro.analysis.artifacts import (load_bench_metrics,
+                                          run_bench_check)
 
     history = args.history or os.path.join(args.results_dir,
                                            regression.HISTORY_FILE)
     if args.action == "record":
-        metrics = regression.collect_metrics(args.results_dir)
-        if not metrics:
-            print(f"error: no benchmark snapshots found under "
-                  f"{args.results_dir!r}", file=sys.stderr)
-            raise SystemExit(2)
+        metrics = _load_artifact(load_bench_metrics, args.results_dir)
         entry = regression.append_history(history, metrics, time.time(),
                                           note=args.note)
         print(f"recorded {len(metrics)} metrics to {history} "
               f"(ts={entry['ts']})")
         return 0
-    try:
-        report = regression.run_check(args.results_dir, history,
-                                      threshold_pct=args.threshold)
-    except FileNotFoundError as error:
-        print(f"error: {error}", file=sys.stderr)
-        raise SystemExit(2)
+    report = _load_artifact(run_bench_check, args.results_dir, history,
+                            args.threshold)
     print(report.describe())
     return 0 if report.ok else 1
+
+
+def _service_url(args: argparse.Namespace) -> str:
+    """Service base URL: ``--url``, then ``REPRO_SERVICE_URL``, then the
+    default local port."""
+    if args.url:
+        return args.url
+    return os.environ.get("REPRO_SERVICE_URL",
+                          f"http://127.0.0.1:{DEFAULT_SERVICE_PORT}")
+
+
+def _service_call(call, *call_args, **call_kwargs):
+    """Run one client call under the unified error taxonomy: an
+    unreachable service or an HTTP error prints ``error: ...`` and
+    exits 2, matching the artifact-loader discipline."""
+    from repro.service.client import ServiceError
+
+    try:
+        return call(*call_args, **call_kwargs)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.jobs import JobScheduler
+    from repro.service.server import SweepService
+
+    jobs_flag = args.jobs if args.jobs is not None else _env_jobs()
+    jobs = jobs_flag if jobs_flag is not None else 1
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR", "")
+    cache = RunCache(cache_dir) if cache_dir else None
+    executor = SweepExecutor(jobs=jobs, cache=cache)
+    scheduler = JobScheduler(executor)
+    service = SweepService(scheduler, host=args.host, port=args.port)
+
+    async def serve() -> None:
+        await service.start()
+        print(f"[repro.service] listening on {service.url} "
+              f"({executor.describe()})", file=sys.stderr)
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{service.port}\n")
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("[repro.service] shutting down", file=sys.stderr)
+    finally:
+        scheduler.close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError, SweepClient
+
+    options = RunOptions(mode=_resolve_mode(args),
+                         requests_per_core=args.requests,
+                         seed=args.seed,
+                         retries=args.retries,
+                         timeout_s=args.timeout,
+                         backend=args.backend)
+    client = SweepClient(_service_url(args))
+    failed_error = None
+    try:
+        job_id = client.submit(args.experiment, options)
+        print(f"[repro.service] submitted {args.experiment} as "
+              f"{job_id} to {client.base_url}", file=sys.stderr)
+        for event in client.stream(job_id):
+            if not args.quiet:
+                print(f"[{job_id}] " + " ".join(
+                    f"{key}={event[key]}" for key in sorted(event)
+                    if key not in ("job", "seq")), file=sys.stderr)
+            if event.get("kind") == "state" and \
+                    event.get("state") == "failed":
+                failed_error = event.get("error") or "job failed"
+        if failed_error is None:
+            text = client.result(job_id)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    if failed_error is not None:
+        print(f"[repro.service] job {job_id} failed: {failed_error}",
+              file=sys.stderr)
+        return 1
+    print(text)
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.service.client import SweepClient
+
+    client = SweepClient(_service_url(args))
+    if args.job:
+        record = _service_call(client.job, args.job)
+        print(json_module.dumps(record, indent=2, sort_keys=True))
+        return 0
+    records = _service_call(client.jobs)
+    if not records:
+        print("no jobs")
+        return 0
+    for record in records:
+        counters = record.get("counters", {})
+        line = (f"{record['job']:6} {record['state']:8} "
+                f"{record['experiment']}")
+        if record["state"] in ("done", "failed"):
+            line += (f"  cells={counters.get('cells', 0)} "
+                     f"computed={counters.get('computed', 0)} "
+                     f"memo_hits={counters.get('memo_hits', 0)}")
+        if record.get("error"):
+            line += f"  error: {record['error']}"
+        print(line)
+    return 0
 
 
 def _cmd_storage(args: argparse.Namespace) -> int:
@@ -526,8 +651,6 @@ def _add_mode_flags(parser: argparse.ArgumentParser) -> None:
                         help="sweep mode: quick = representative "
                              "workload subset (default), full = all 22 "
                              "workloads")
-    parser.add_argument("--full", action="store_true",
-                        help="deprecated alias for --mode full")
 
 
 def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
@@ -627,6 +750,71 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_flags(report_parser)
     _add_telemetry_flags(report_parser)
     report_parser.set_defaults(func=_cmd_report)
+
+    serve_parser = sub.add_parser(
+        "serve", help="start the long-running sweep service "
+                      "(async HTTP job API; see docs/service.md)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int,
+                              default=DEFAULT_SERVICE_PORT,
+                              help=f"bind port (0 = ephemeral; default "
+                                   f"{DEFAULT_SERVICE_PORT})")
+    serve_parser.add_argument("--port-file", metavar="FILE",
+                              help="write the bound port to FILE once "
+                                   "listening (for scripts using "
+                                   "--port 0)")
+    serve_parser.add_argument("--jobs", type=int, metavar="N",
+                              help="worker processes for each sweep "
+                                   "(0 = all cores; default serial, or "
+                                   "REPRO_JOBS)")
+    serve_parser.add_argument("--cache-dir", metavar="DIR",
+                              help="content-addressed run cache shared "
+                                   "by all jobs (default "
+                                   "REPRO_CACHE_DIR)")
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit one experiment to a running service, "
+                       "stream its events, and print the result JSON",
+        epilog=ENV_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    submit_parser.add_argument("experiment", help="experiment name")
+    submit_parser.add_argument("--url", metavar="URL",
+                               help="service base URL (default "
+                                    "REPRO_SERVICE_URL, else "
+                                    "http://127.0.0.1:"
+                                    f"{DEFAULT_SERVICE_PORT})")
+    _add_mode_flags(submit_parser)
+    submit_parser.add_argument("--seed", type=int, default=2025)
+    submit_parser.add_argument("--requests", type=int, metavar="N",
+                               help="per-core request-budget override "
+                                    "(smoke/CI runs)")
+    submit_parser.add_argument("--backend",
+                               choices=("scalar", "batched", "auto"),
+                               default="scalar",
+                               help="engine backend for this job")
+    submit_parser.add_argument("--retries", type=int, metavar="N",
+                               help="per-cell retry budget")
+    submit_parser.add_argument("--timeout", type=float, metavar="S",
+                               help="per-attempt wall-clock limit")
+    submit_parser.add_argument("--quiet", action="store_true",
+                               help="suppress the per-event progress "
+                                    "lines on stderr")
+    submit_parser.set_defaults(func=_cmd_submit)
+
+    jobs_parser = sub.add_parser(
+        "jobs", help="list a running service's jobs (or show one "
+                     "job record as JSON)")
+    jobs_parser.add_argument("job", nargs="?",
+                             help="job id to show in full (default: "
+                                  "list all jobs)")
+    jobs_parser.add_argument("--url", metavar="URL",
+                             help="service base URL (default "
+                                  "REPRO_SERVICE_URL, else "
+                                  "http://127.0.0.1:"
+                                  f"{DEFAULT_SERVICE_PORT})")
+    jobs_parser.set_defaults(func=_cmd_jobs)
 
     stats_parser = sub.add_parser(
         "stats", help="summarise a telemetry journal (JSONL)")

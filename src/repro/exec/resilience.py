@@ -17,8 +17,8 @@ make :class:`~repro.exec.executor.SweepExecutor` fault-tolerant:
   back across the process boundary, so a corrupted result is retried
   like a crash rather than silently rendered into a table.
 * :class:`SweepCheckpoint` — an append-only journal of completed cell
-  fingerprints kept next to the run cache.  An interrupted ``--full``
-  sweep relaunched with ``--resume`` loads the journal, serves finished
+  fingerprints kept next to the run cache.  An interrupted ``--mode
+  full`` sweep relaunched with ``--resume`` loads the journal, serves finished
   cells from the cache and re-submits only the remainder; output stays
   byte-identical to an uninterrupted run.
 """

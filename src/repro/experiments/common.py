@@ -20,6 +20,7 @@ parallel and cached executions render byte-identical tables.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 from dataclasses import dataclass, field
@@ -130,6 +131,61 @@ class RunOptions:
         """Whether this is a quick-mode (subset) run."""
         return self.mode == "quick"
 
+    def to_dict(self) -> dict:
+        """Plain-data rendering: the canonical wire format.
+
+        Every field is present explicitly (no default elision), so two
+        equal records always serialize identically — the sweep service
+        and its client exchange exactly this shape.
+        """
+        return {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunOptions":
+        """Inverse of :meth:`to_dict`, validating field names and values.
+
+        Raises :class:`ValueError` on anything that is not a dict of
+        known fields with valid values — the service maps that straight
+        to a 400 response.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"options must be an object, "
+                             f"got {type(data).__name__}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown RunOptions fields: "
+                             f"{', '.join(unknown)}")
+        for name, value in data.items():
+            expected, optional = _WIRE_TYPES[name]
+            ok = (value is None and optional) or (
+                isinstance(value, expected) and not
+                (expected is not bool and isinstance(value, bool)))
+            if not ok:
+                raise ValueError(
+                    f"RunOptions field {name!r} cannot be {value!r}")
+        try:
+            return cls(**data)
+        except TypeError as error:
+            raise ValueError(str(error)) from None
+
+    def to_json(self) -> str:
+        """JSON wire rendering (sorted keys, so equal records are
+        byte-identical)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunOptions":
+        """Inverse of :meth:`to_json` (same validation as
+        :meth:`from_dict`)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"options are not valid JSON: {error}") \
+                from None
+        return cls.from_dict(data)
+
     def wants_resilience(self) -> bool:
         """Whether any executor-facing knob deviates from the default."""
         return (self.retries is not None or self.timeout_s is not None
@@ -148,6 +204,20 @@ class RunOptions:
         if self.backend != "scalar":
             parts.append(f"backend={self.backend}")
         return " ".join(parts)
+
+
+#: Accepted wire types per :class:`RunOptions` field (type-or-types,
+#: may-be-null); :meth:`RunOptions.from_dict` enforces this before
+#: value validation so a malformed submission reads as a clean 400.
+_WIRE_TYPES = {
+    "mode": (str, False),
+    "requests_per_core": (int, True),
+    "seed": (int, False),
+    "retries": (int, True),
+    "timeout_s": ((int, float), True),
+    "resume": (bool, False),
+    "backend": (str, False),
+}
 
 
 def full_mode_enabled() -> bool:

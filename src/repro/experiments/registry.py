@@ -8,9 +8,7 @@ every experiment an invocation touches.
 
 from __future__ import annotations
 
-import dataclasses
 import inspect
-import warnings
 from typing import Callable
 
 from repro.experiments import (ablations, dos, fig5, fig9, fig10, fig11,
@@ -77,51 +75,15 @@ def names() -> list[str]:
     return list(EXPERIMENTS)
 
 
-#: Sentinel distinguishing "not passed" from explicit legacy values.
-_UNSET = object()
-
-
-def _merge_legacy(options: "RunOptions | bool | None", quick, seed,
-                  requests_per_core) -> RunOptions:
-    """Fold deprecated kwargs into a :class:`RunOptions`, warning once
-    per call.  A bare bool ``options`` is the historical positional
-    ``quick`` argument and goes through the same shim."""
-    legacy: dict = {}
-    if isinstance(options, bool):
-        legacy["mode"] = "quick" if options else "full"
-        options = None
-    if quick is not _UNSET:
-        legacy["mode"] = "quick" if quick else "full"
-    if seed is not _UNSET:
-        legacy["seed"] = seed
-    if requests_per_core is not _UNSET:
-        legacy["requests_per_core"] = requests_per_core
-    if options is None:
-        options = RunOptions()
-    if not isinstance(options, RunOptions):
-        raise TypeError(f"options must be RunOptions or None, "
-                        f"got {type(options).__name__}")
-    if legacy:
-        warnings.warn(
-            "run_experiment(quick=..., seed=..., requests_per_core=...) "
-            "is deprecated; pass run_experiment(name, RunOptions(...)) "
-            "instead",
-            DeprecationWarning, stacklevel=3)
-        options = dataclasses.replace(options, **legacy)
-    return options
-
-
 def run_experiment(name: str,
-                   options: RunOptions | None = None,
-                   *,
-                   quick=_UNSET, seed=_UNSET, requests_per_core=_UNSET
-                   ) -> ExperimentResult:
+                   options: RunOptions | None = None) -> ExperimentResult:
     """Run one experiment through the registry.
 
-    ``options`` carries every run parameter (see :class:`RunOptions`).
-    ``options.requests_per_core`` overrides the per-core request budget
-    for runners that expose one (all simulation-driven experiments do);
-    analytic experiments without the parameter ignore the override.
+    ``options`` carries every run parameter (see :class:`RunOptions`);
+    ``None`` means all defaults.  ``options.requests_per_core``
+    overrides the per-core request budget for runners that expose one
+    (all simulation-driven experiments do); analytic experiments
+    without the parameter ignore the override.
 
     The resilience knobs (``retries``/``timeout_s``) configure the
     ambient sweep executor when the caller activated one; with no
@@ -130,11 +92,18 @@ def run_experiment(name: str,
     callers get fault tolerance and batched dispatch without touching
     :mod:`repro.exec.runtime`.
 
-    ``quick``/``seed``/``requests_per_core`` keyword arguments are the
-    deprecated pre-``RunOptions`` surface; they still work but emit a
-    :class:`DeprecationWarning`.
+    The pre-2.0 ``quick``/``seed``/``requests_per_core`` keyword
+    surface was removed after its deprecation cycle; construct a
+    :class:`RunOptions` instead.
     """
-    options = _merge_legacy(options, quick, seed, requests_per_core)
+    if options is None:
+        options = RunOptions()
+    if not isinstance(options, RunOptions):
+        raise TypeError(
+            f"options must be RunOptions or None, got "
+            f"{type(options).__name__} (the legacy quick/seed/"
+            f"requests_per_core surface was removed in 2.0; pass "
+            f"RunOptions(...) — see docs/api.md)")
     runner = get(name)
     kwargs: dict = {"quick": options.quick, "seed": options.seed}
     if options.requests_per_core is not None and \

@@ -1,0 +1,40 @@
+"""Sweep service: an async job API over the execution fabric.
+
+The :mod:`repro.exec` layer already has everything a multi-tenant
+sweep system needs — content-addressed caching, picklable cell specs,
+retries/timeouts, per-cell telemetry — except a transport.  This
+package is that transport:
+
+* :class:`~repro.service.jobs.JobScheduler` — submit-and-stream job
+  queue over one shared :class:`~repro.exec.SweepExecutor` (the shared
+  memo/cache is what coalesces identical concurrent submissions onto a
+  single execution of the cell work);
+* :class:`~repro.service.server.SweepService` — stdlib-asyncio HTTP
+  server exposing ``POST /v1/jobs``, job records, an NDJSON event
+  stream and the deterministic result document;
+* :class:`~repro.service.client.SweepClient` — typed client with
+  deterministic transport retry/backoff and exact stream reconnection.
+
+``repro serve`` / ``repro submit`` / ``repro jobs`` are the CLI front
+ends; ``docs/service.md`` documents the endpoints, the job lifecycle
+and the determinism guarantees.
+"""
+
+from repro.service.client import (JobFailed, RETRY_BACKOFF_S,
+                                  ServiceError, SweepClient)
+from repro.service.jobs import (BadSubmission, Job, JobScheduler,
+                                UnknownJob)
+from repro.service.server import ServiceThread, SweepService
+
+__all__ = [
+    "BadSubmission",
+    "Job",
+    "JobFailed",
+    "JobScheduler",
+    "RETRY_BACKOFF_S",
+    "ServiceError",
+    "ServiceThread",
+    "SweepClient",
+    "SweepService",
+    "UnknownJob",
+]

@@ -1,0 +1,321 @@
+"""Job scheduler: submit-and-stream sweep jobs over one shared executor.
+
+A *job* is one ``run_experiment(name, options)`` invocation promoted to
+an asynchronous unit of work with a stable identity and a four-state
+lifecycle::
+
+    queued -> running -> done
+                      -> failed
+
+The scheduler owns exactly one :class:`~repro.exec.SweepExecutor` and
+one worker thread.  Jobs execute strictly one at a time, in submission
+order, with the executor's lifetime memo (and optional
+:class:`~repro.exec.cache.RunCache`) shared across *all* jobs — which is
+the service's cache-coalescing guarantee: two identical submissions
+perform the sweep's cell work once, and the second job's cells are all
+memo/cache hits.  Because every cell is deterministic and results merge
+in fixed cell order, a job's result JSON is byte-identical to a local
+``run_experiment`` call with the same options, cold or warm.
+
+Per-job knobs ride the :class:`~repro.experiments.common.RunOptions`
+wire record: ``retries``/``timeout_s`` become the executor's
+:class:`~repro.exec.resilience.CellPolicy` for that job, ``backend``
+selects the engine backend (batched groups reuse the planner from
+``experiments.common``).  ``resume`` is rejected at submission — the
+service has no per-job checkpoint journal; its memo and cache already
+provide the equivalent warm restart.
+
+Every cell-level event the executor reports (submitted / computed /
+memo or cache hit / resumed / retried / failed) is appended to the
+job's ordered event log with a monotonically increasing ``seq``, which
+is what the server's NDJSON stream — and the client's
+reconnect-with-cursor — ride on.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.exec import runtime as exec_runtime
+from repro.exec.executor import ExecutorStats, SweepExecutor
+from repro.exec.resilience import CellPolicy, SweepFailure
+from repro.experiments import registry
+from repro.experiments.common import RunOptions
+
+#: Job lifecycle states, in order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Terminal states: the job record and its events are final.
+TERMINAL_STATES = ("done", "failed")
+
+#: Executor counters mirrored into each job record (the same counters
+#: the executor mirrors into the obs metrics registry as ``exec.*``).
+COUNTER_FIELDS = ("cells", "computed", "memo_hits", "resumed", "retries",
+                  "timeouts", "failed", "batched", "inline")
+
+
+class UnknownJob(KeyError):
+    """No job with the requested id."""
+
+
+class BadSubmission(ValueError):
+    """A submission the scheduler rejects (unknown experiment, invalid
+    options, unsupported knob); the server maps this to HTTP 400."""
+
+
+@dataclass
+class Job:
+    """One submitted experiment run (mutable; guarded by the scheduler
+    lock)."""
+
+    id: str
+    experiment: str
+    options: RunOptions
+    state: str = "queued"
+    error: str | None = None
+    result_json: str | None = None
+    counters: dict = field(default_factory=dict)
+    events: list[dict] = field(default_factory=list)
+
+    def record(self) -> dict:
+        """The job's public record (the ``GET /v1/jobs/<id>`` body)."""
+        return {
+            "job": self.id,
+            "experiment": self.experiment,
+            "state": self.state,
+            "options": self.options.to_dict(),
+            "counters": dict(self.counters),
+            "events": len(self.events),
+            "error": self.error,
+        }
+
+
+class _JobProgress:
+    """Adapter feeding one job's event log from the executor's progress
+    hook (the same interface :class:`~repro.obs.progress.SweepProgress`
+    implements)."""
+
+    def __init__(self, scheduler: "JobScheduler", job: Job) -> None:
+        self.scheduler = scheduler
+        self.job = job
+
+    def add_cells(self, count: int) -> None:
+        self.scheduler._append_event(self.job, "cells", count=count)
+
+    def record(self, kind: str, seconds: float | None = None) -> None:
+        fields = {} if seconds is None else {"seconds": round(seconds, 6)}
+        self.scheduler._append_event(self.job, kind, **fields)
+
+    def finish(self) -> None:
+        """Sweep end is implied by the job's terminal state event."""
+
+
+class JobScheduler:
+    """Single-worker job queue over one shared :class:`SweepExecutor`.
+
+    Parameters
+    ----------
+    executor:
+        The executor every job runs through.  Its memo (and cache, if
+        configured) is the coalescing layer shared across jobs; its
+        ``policy`` and ``backend`` are rebound per job from that job's
+        options.  Defaults to a serial cacheless executor.
+    """
+
+    def __init__(self, executor: SweepExecutor | None = None) -> None:
+        self.executor = executor if executor is not None \
+            else SweepExecutor()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._queue: deque[Job] = deque()
+        self._seq = 0
+        self._closed = False
+        self._thread = threading.Thread(target=self._worker,
+                                        name="repro-service-worker",
+                                        daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker (after its current job) and the executor."""
+        with self._wake:
+            if self._closed:
+                return
+            self._closed = True
+            self._wake.notify_all()
+        self._thread.join()
+        self.executor.close()
+
+    def __enter__(self) -> "JobScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Submission API (server-facing)
+    # ------------------------------------------------------------------
+    def submit(self, experiment: str, options: RunOptions | None = None) \
+            -> dict:
+        """Queue one job; returns its (queued) record.
+
+        Raises :class:`BadSubmission` for unknown experiments or options
+        the service cannot honour.
+        """
+        if options is None:
+            options = RunOptions()
+        if experiment not in registry.EXPERIMENTS:
+            raise BadSubmission(
+                f"unknown experiment {experiment!r}; "
+                f"see GET /v1/experiments")
+        if options.resume:
+            raise BadSubmission(
+                "resume is not a service-side option: the shared "
+                "run cache already serves completed cells warm")
+        with self._wake:
+            if self._closed:
+                raise BadSubmission("service is shutting down")
+            self._seq += 1
+            job = Job(id=f"j{self._seq}", experiment=experiment,
+                      options=options)
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self._queue.append(job)
+            self._append_event_locked(job, "state", state="queued")
+            self._wake.notify_all()
+            return job.record()
+
+    def get(self, job_id: str) -> dict:
+        """The job's current record; raises :class:`UnknownJob`."""
+        with self._lock:
+            return self._job(job_id).record()
+
+    def list(self) -> list[dict]:
+        """Records of every job, in submission order."""
+        with self._lock:
+            return [self._jobs[job_id].record()
+                    for job_id in self._order]
+
+    def events_since(self, job_id: str, after: int = -1) \
+            -> tuple[list[dict], bool]:
+        """Events with ``seq > after`` plus whether the job is terminal.
+
+        The event list is append-only, so polling with the last seen
+        ``seq`` as the cursor never misses or duplicates an event —
+        which is exactly the contract the streaming endpoint and the
+        reconnecting client rely on.
+        """
+        with self._lock:
+            job = self._job(job_id)
+            events = [event for event in job.events
+                      if event["seq"] > after]
+            return events, job.state in TERMINAL_STATES
+
+    def result_text(self, job_id: str) -> str:
+        """The finished job's result JSON, byte-identical to a local
+        ``run_experiment(...).to_json()``.
+
+        Raises :class:`UnknownJob` for unknown ids, :class:`JobNotDone`
+        (HTTP 409) while the job is still queued/running, and
+        :class:`JobFailedError` (HTTP 410) for terminally failed jobs.
+        """
+        with self._lock:
+            job = self._job(job_id)
+            if job.state == "failed":
+                raise JobFailedError(job.error or "job failed")
+            if job.result_json is None:
+                raise JobNotDone(job.state)
+            return job.result_json
+
+    def _job(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJob(job_id) from None
+
+    # ------------------------------------------------------------------
+    # Event log
+    # ------------------------------------------------------------------
+    def _append_event(self, job: Job, kind: str, **fields) -> None:
+        with self._lock:
+            self._append_event_locked(job, kind, **fields)
+
+    def _append_event_locked(self, job: Job, kind: str, **fields) -> None:
+        event = {"seq": len(job.events), "job": job.id, "kind": kind}
+        event.update(fields)
+        job.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            with self._wake:
+                while not self._queue and not self._closed:
+                    self._wake.wait()
+                if self._closed and not self._queue:
+                    return
+                job = self._queue.popleft()
+                job.state = "running"
+                self._append_event_locked(job, "state", state="running")
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        executor = self.executor
+        defaults = CellPolicy()
+        executor.policy = CellPolicy(
+            timeout_s=job.options.timeout_s,
+            retries=job.options.retries
+            if job.options.retries is not None else defaults.retries)
+        executor.backend = job.options.backend
+        executor.progress = _JobProgress(self, job)
+        before = _stats_snapshot(executor.stats)
+        state, error, result_json = "done", None, None
+        try:
+            with exec_runtime.activated(executor):
+                result = registry.run_experiment(job.experiment,
+                                                 job.options)
+            result_json = result.to_json()
+        except SweepFailure as failure:
+            state, error = "failed", str(failure)
+        except Exception as exc:  # noqa: BLE001 — job isolation
+            state = "failed"
+            error = f"{type(exc).__name__}: {exc}"
+            traceback.print_exc()
+        finally:
+            executor.progress = None
+        with self._lock:
+            job.counters = _stats_delta(before, executor.stats)
+            job.state = state
+            job.error = error
+            job.result_json = result_json
+            fields = {"state": state}
+            if error is not None:
+                fields["error"] = error
+            self._append_event_locked(job, "state", **fields)
+
+
+class JobNotDone(Exception):
+    """The job exists but has no result yet (HTTP 409); the message is
+    the job's current state."""
+
+
+class JobFailedError(Exception):
+    """The job failed terminally (HTTP 410); the message is the job's
+    error."""
+
+
+def _stats_snapshot(stats: ExecutorStats) -> dict:
+    return {name: getattr(stats, name) for name in COUNTER_FIELDS}
+
+
+def _stats_delta(before: dict, stats: ExecutorStats) -> dict:
+    return {name: getattr(stats, name) - before[name]
+            for name in COUNTER_FIELDS}

@@ -1,0 +1,326 @@
+"""Asyncio HTTP server exposing the sweep service's v1 job API.
+
+Hand-rolled on ``asyncio.start_server`` — no third-party dependency,
+no ``http.server`` thread-per-connection machinery.  The endpoint
+surface (all request/response bodies are JSON unless noted):
+
+==========================================  ===========================
+``GET  /v1/experiments``                    registered experiment names
+``POST /v1/jobs``                           submit: ``{"experiment":
+                                            name, "options": {...}}``
+                                            → the queued job record
+``GET  /v1/jobs``                           ``{"jobs": [records...]}``
+``GET  /v1/jobs/<id>``                      one job record (state
+                                            machine + exec counters)
+``GET  /v1/jobs/<id>/events[?after=N]``     NDJSON stream of the job's
+                                            events with ``seq > N``,
+                                            live until the terminal
+                                            ``state`` event
+``GET  /v1/jobs/<id>/result``               the deterministic merged
+                                            result JSON, byte-identical
+                                            to local ``run_experiment``
+==========================================  ===========================
+
+Error taxonomy: 400 bad submission (unknown experiment, invalid
+options), 404 unknown job or path, 409 result requested before the job
+is done, 410 result of a failed job, 413 oversized body — every error
+body is ``{"error": message}``.
+
+The compute itself happens on the scheduler's worker thread; the event
+loop only parses requests and serialises records, so status and stream
+requests stay responsive while a job simulates.  Event streaming polls
+the scheduler's append-only per-job event log (cursor = last ``seq``),
+which is also what makes client reconnects exact: the ``after`` query
+parameter resumes the stream without loss or duplication.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from repro.experiments import registry
+from repro.experiments.common import RunOptions
+from repro.service.jobs import (BadSubmission, JobFailedError, JobNotDone,
+                                JobScheduler, UnknownJob)
+
+#: Largest accepted request body (a submission is a few hundred bytes).
+MAX_BODY_BYTES = 1 << 20
+
+#: Seconds between event-log polls while streaming a live job.
+STREAM_POLL_S = 0.02
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict", 410: "Gone",
+            413: "Payload Too Large", 500: "Internal Server Error"}
+
+
+class SweepService:
+    """The HTTP front half: routes requests onto a :class:`JobScheduler`.
+
+    ``port=0`` binds an ephemeral port; the bound port is available as
+    :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, scheduler: JobScheduler,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader, writer)
+            if request is not None:
+                method, path, query, body = request
+                await self._route(writer, method, path, query, body)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        except Exception as exc:  # noqa: BLE001 — keep the server up
+            try:
+                self._respond_json(writer, 500,
+                                   {"error": f"{type(exc).__name__}: "
+                                             f"{exc}"})
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader, writer):
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split()
+        except ValueError:
+            self._respond_json(writer, 400,
+                               {"error": "malformed request line"})
+            return None
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            self._respond_json(writer, 413, {"error": "body too large"})
+            return None
+        body = await reader.readexactly(length) if length else b""
+        path, _, raw_query = target.partition("?")
+        query: dict[str, str] = {}
+        for pair in raw_query.split("&"):
+            if pair:
+                key, _, value = pair.partition("=")
+                query[key] = value
+        return method.upper(), path, query, body
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(self, writer, method: str, path: str,
+                     query: dict[str, str], body: bytes) -> None:
+        parts = [part for part in path.split("/") if part]
+        if parts == ["v1", "experiments"] and method == "GET":
+            self._respond_json(writer, 200,
+                               {"experiments": registry.names()})
+            return
+        if parts == ["v1", "jobs"]:
+            if method == "POST":
+                self._submit(writer, body)
+            elif method == "GET":
+                self._respond_json(writer, 200,
+                                   {"jobs": self.scheduler.list()})
+            else:
+                self._respond_json(writer, 405,
+                                   {"error": f"{method} not allowed"})
+            return
+        if len(parts) in (3, 4) and parts[:2] == ["v1", "jobs"] \
+                and method == "GET":
+            job_id = parts[2]
+            tail = parts[3] if len(parts) == 4 else None
+            try:
+                if tail is None:
+                    self._respond_json(writer, 200,
+                                       self.scheduler.get(job_id))
+                elif tail == "events":
+                    await self._stream_events(writer, job_id, query)
+                elif tail == "result":
+                    text = self.scheduler.result_text(job_id)
+                    self._respond(writer, 200, text.encode("utf-8"),
+                                  "application/json")
+                else:
+                    self._respond_json(writer, 404,
+                                       {"error": f"unknown endpoint "
+                                                 f"{path!r}"})
+            except UnknownJob:
+                self._respond_json(writer, 404,
+                                   {"error": f"unknown job {job_id!r}"})
+            except JobNotDone as pending:
+                self._respond_json(writer, 409,
+                                   {"error": f"job {job_id} has no "
+                                             f"result yet",
+                                    "state": str(pending)})
+            except JobFailedError as failure:
+                self._respond_json(writer, 410,
+                                   {"error": str(failure),
+                                    "state": "failed"})
+            return
+        self._respond_json(writer, 404,
+                           {"error": f"unknown endpoint {path!r}"})
+
+    def _submit(self, writer, body: bytes) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(payload, dict):
+                raise ValueError("submission body must be a JSON object")
+            experiment = payload.get("experiment")
+            if not isinstance(experiment, str):
+                raise ValueError("submission needs an 'experiment' name")
+            options = RunOptions.from_dict(payload.get("options", {}))
+            record = self.scheduler.submit(experiment, options)
+        except (ValueError, BadSubmission) as error:
+            self._respond_json(writer, 400, {"error": str(error)})
+            return
+        self._respond_json(writer, 200, record)
+
+    async def _stream_events(self, writer, job_id: str,
+                             query: dict[str, str]) -> None:
+        try:
+            after = int(query.get("after", "-1"))
+        except ValueError:
+            after = -1
+        # Existence check before committing to a streaming response.
+        events, terminal = self.scheduler.events_since(job_id, after)
+        head = (f"HTTP/1.1 200 OK\r\n"
+                f"Content-Type: application/x-ndjson\r\n"
+                f"Connection: close\r\n\r\n")
+        writer.write(head.encode("latin-1"))
+        while True:
+            for event in events:
+                writer.write(json.dumps(event, sort_keys=True)
+                             .encode("utf-8") + b"\n")
+                after = event["seq"]
+            await writer.drain()
+            if terminal and not events:
+                return
+            if not terminal:
+                await asyncio.sleep(STREAM_POLL_S)
+            events, terminal = self.scheduler.events_since(job_id, after)
+
+    # ------------------------------------------------------------------
+    # Response helpers
+    # ------------------------------------------------------------------
+    def _respond(self, writer, status: int, payload: bytes,
+                 content_type: str) -> None:
+        reason = _REASONS.get(status, "")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n")
+        writer.write(head.encode("latin-1") + payload)
+
+    def _respond_json(self, writer, status: int, payload: dict) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n") \
+            .encode("utf-8")
+        self._respond(writer, status, body, "application/json")
+
+
+class ServiceThread:
+    """An in-process service on a background thread (tests, embedding).
+
+    Context-managing a :class:`ServiceThread` starts the asyncio loop
+    on a daemon thread, binds the server, and exposes ``host``/``port``/
+    ``url``; exiting stops the server, the loop, and the scheduler.
+    """
+
+    def __init__(self, scheduler: JobScheduler,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.scheduler = scheduler
+        self.service = SweepService(scheduler, host=host, port=port)
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread = threading.Thread(target=self._main,
+                                        name="repro-service-http",
+                                        daemon=True)
+
+    @property
+    def host(self) -> str:
+        return self.service.host
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    @property
+    def url(self) -> str:
+        return self.service.url
+
+    def __enter__(self) -> "ServiceThread":
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join()
+        self.scheduler.close()
+
+    def _main(self) -> None:
+        asyncio.run(self._serve())
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.service.start()
+        except BaseException as error:  # noqa: BLE001 — surface to caller
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.service.stop()

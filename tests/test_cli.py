@@ -20,13 +20,14 @@ class TestParser:
     def test_run_defaults(self):
         args = build_parser().parse_args(["run", "table1"])
         assert args.experiments == ["table1"]
-        assert not args.full
         assert args.mode is None
         assert args.seed == 2025
 
-    def test_run_full_flag(self):
-        args = build_parser().parse_args(["run", "--full", "fig9"])
-        assert args.full
+    def test_full_alias_removed(self):
+        # --full finished its deprecation cycle in 2.0; only --mode
+        # full remains.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--full", "fig9"])
 
     def test_help_epilog_documents_env_vars(self):
         text = build_parser().format_help()
@@ -51,14 +52,6 @@ class TestModeFlags:
     def test_mode_rejects_unknown(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--mode", "fast", "table1"])
-
-    def test_full_alias_maps_to_full_with_note(self, capsys):
-        assert self._mode("run", "--full", "table1") == "full"
-        assert "--full is deprecated" in capsys.readouterr().err
-
-    def test_mode_beats_full_alias(self, capsys):
-        assert self._mode("run", "--full", "--mode", "quick",
-                          "table1") == "quick"
 
     def test_env_default(self, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_FULL", "1")

@@ -1,6 +1,8 @@
-"""RunOptions record + the legacy-kwargs compatibility shim."""
+"""RunOptions record: validation, wire format, and the v2 contract
+(:class:`RunOptions` is the *only* way to parameterise
+``run_experiment`` — the pre-2.0 legacy-kwargs shim is gone)."""
 
-import warnings
+import json
 
 import pytest
 
@@ -8,7 +10,7 @@ from repro.experiments import registry
 from repro.experiments.common import (DEFAULT_SEED, MODES, RunOptions)
 from repro.workloads.builder import clear_cache
 
-#: Small per-core budget for the one sim-backed equivalence check.
+#: Small per-core budget for the sim-backed checks.
 BUDGET = 800
 
 
@@ -70,24 +72,67 @@ class TestRecord:
         assert "backend=batched" in options.describe()
 
 
-class TestEquivalence:
-    def test_analytic_byte_identical(self):
-        modern = registry.run_experiment("table4", RunOptions())
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy = registry.run_experiment("table4", quick=True)
-        assert legacy.to_json() == modern.to_json()
+class TestWireFormat:
+    """to_dict/from_dict/to_json/from_json — the one shared pair the
+    CLI, the service server, and the service client all ride."""
 
-    def test_simulated_byte_identical(self, tiny_quick_subset):
-        options = RunOptions(seed=11, requests_per_core=BUDGET)
-        modern = registry.run_experiment("ablation-atm", options)
-        clear_cache()
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy = registry.run_experiment(
-                "ablation-atm", quick=True, seed=11,
-                requests_per_core=BUDGET)
-        assert legacy.to_json() == modern.to_json()
+    def test_round_trip_defaults(self):
+        assert RunOptions.from_dict(RunOptions().to_dict()) == RunOptions()
+        assert RunOptions.from_json(RunOptions().to_json()) == RunOptions()
+
+    def test_round_trip_every_field(self):
+        options = RunOptions(mode="full", requests_per_core=123, seed=7,
+                             retries=4, timeout_s=1.5, resume=True,
+                             backend="auto")
+        assert RunOptions.from_json(options.to_json()) == options
+
+    def test_json_is_canonical(self):
+        # sort_keys → stable bytes: identical options produce identical
+        # submission bodies, which is what cache coalescing keys on.
+        text = RunOptions(seed=7).to_json()
+        assert text == json.dumps(json.loads(text), sort_keys=True)
+
+    def test_partial_dict_fills_defaults(self):
+        options = RunOptions.from_dict({"mode": "full"})
+        assert options == RunOptions(mode="full")
+
+    @pytest.mark.parametrize("payload", [
+        "not a dict",
+        {"mode": "quick", "bogus": 1},
+        {"mode": "fast"},
+        {"requests_per_core": 0},
+        {"seed": "high"},
+    ])
+    def test_bad_payloads_raise_value_error(self, payload):
+        with pytest.raises(ValueError):
+            RunOptions.from_dict(payload)
+
+    def test_bad_json_raises_value_error(self):
+        with pytest.raises(ValueError):
+            RunOptions.from_json("{not json")
+        with pytest.raises(ValueError):
+            RunOptions.from_json("[1, 2]")
+
+
+class TestRunExperimentV2:
+    def test_options_record_is_the_only_entry_point(self):
+        result = registry.run_experiment("table4", RunOptions())
+        assert result.to_json() == registry.run_experiment(
+            "table4").to_json()
+
+    @pytest.mark.parametrize("bad", [
+        {"mode": "quick"},          # dict is not an options record
+        True,                       # the pre-2.0 positional quick flag
+        "quick",
+    ])
+    def test_non_record_options_rejected(self, bad):
+        with pytest.raises(TypeError, match="RunOptions"):
+            registry.run_experiment("table4", bad)
+
+    def test_legacy_kwargs_surface_removed(self):
+        with pytest.raises(TypeError):
+            registry.run_experiment("table4", quick=True, seed=3)
+        assert not hasattr(registry, "_merge_legacy")
 
     @pytest.mark.parametrize("backend", ["batched", "auto"])
     def test_backend_byte_identical(self, tiny_quick_subset, backend):
@@ -102,32 +147,12 @@ class TestEquivalence:
                                        backend=backend))
         assert routed.to_json() == scalar.to_json()
 
-
-class TestLegacyShim:
-    def test_legacy_kwargs_warn_exactly_once(self):
-        with pytest.warns(DeprecationWarning,
-                          match="RunOptions") as record:
-            registry.run_experiment("table4", quick=True, seed=3)
-        assert len(record) == 1
-
-    def test_bool_positional_is_the_old_quick_flag(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = registry.run_experiment("table4", True)
-        modern = registry.run_experiment("table4", RunOptions())
-        assert legacy.to_json() == modern.to_json()
-
-    def test_options_record_does_not_warn(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            registry.run_experiment("table4", RunOptions())
-
-    def test_legacy_kwargs_override_options(self):
-        with pytest.warns(DeprecationWarning):
-            merged = registry._merge_legacy(RunOptions(seed=1), quick=False,
-                                            seed=9, requests_per_core=500)
-        assert merged == RunOptions(mode="full", seed=9,
-                                    requests_per_core=500)
-
-    def test_bad_options_type_rejected(self):
-        with pytest.raises(TypeError, match="RunOptions"):
-            registry.run_experiment("table4", {"mode": "quick"})
+    def test_wire_round_trip_runs_identically(self, tiny_quick_subset):
+        """Options that crossed the wire drive the same run as the
+        original record (the service's byte-identity foundation)."""
+        options = RunOptions(seed=11, requests_per_core=BUDGET)
+        direct = registry.run_experiment("ablation-atm", options)
+        clear_cache()
+        wired = registry.run_experiment(
+            "ablation-atm", RunOptions.from_json(options.to_json()))
+        assert wired.to_json() == direct.to_json()
