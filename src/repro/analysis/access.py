@@ -1,0 +1,118 @@
+"""Access-log summarization (the ``repro stats --access-log`` path).
+
+Input is the schema-versioned JSONL request log ``repro serve
+--access-log FILE`` appends (one record per served request: method,
+path, status, duration_us, job id, wire bytes).  The summary groups
+requests by *route* — job ids in the path are folded to ``<id>`` so a
+thousand ``GET /v1/jobs/j42`` polls aggregate into one row — and
+reports per-route request counts, error counts (status >= 400), p50 /
+p95 / max latency and total bytes on the wire.
+
+Percentiles use the nearest-rank method on the sorted duration list:
+deterministic, no interpolation, exact for the small-N case an access
+log summary usually is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Path segments that look like job ids (everything after /v1/jobs/
+#: that is not a known sub-resource) fold to this placeholder.
+ID_PLACEHOLDER = "<id>"
+
+#: Known tails of /v1/jobs/<id>/... kept verbatim during folding.
+_JOB_TAILS = ("events", "result", "spans")
+
+
+def normalize_route(method: str, path: str) -> str:
+    """Fold job ids so polling loops aggregate into one route.
+
+    ``GET /v1/jobs/j42/events`` → ``GET /v1/jobs/<id>/events``.
+    """
+    parts = [part for part in path.split("/") if part]
+    if len(parts) >= 3 and parts[:2] == ["v1", "jobs"]:
+        parts[2] = ID_PLACEHOLDER
+        parts = [part if index < 3 or part in _JOB_TAILS
+                 else ID_PLACEHOLDER
+                 for index, part in enumerate(parts)]
+    return f"{method} /{'/'.join(parts)}"
+
+
+def percentile(sorted_values: list[int], fraction: float) -> int:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0
+    rank = max(1, -(-len(sorted_values) * fraction // 1))
+    return sorted_values[int(rank) - 1]
+
+
+@dataclass
+class RouteSummary:
+    """Aggregate of one normalized route."""
+
+    route: str
+    requests: int = 0
+    errors: int = 0
+    bytes_total: int = 0
+    durations_us: list[int] = field(default_factory=list)
+
+    def finalize(self) -> dict:
+        durations = sorted(self.durations_us)
+        return {
+            "route": self.route,
+            "requests": self.requests,
+            "errors": self.errors,
+            "bytes": self.bytes_total,
+            "p50_us": percentile(durations, 0.50),
+            "p95_us": percentile(durations, 0.95),
+            "max_us": durations[-1] if durations else 0,
+        }
+
+
+def summarize_access(records: list[dict]) -> dict:
+    """Reduce access records to per-route rows plus document totals."""
+    routes: dict[str, RouteSummary] = {}
+    for record in records:
+        route = normalize_route(str(record.get("method", "?")),
+                                str(record.get("path", "?")))
+        summary = routes.get(route)
+        if summary is None:
+            summary = routes[route] = RouteSummary(route=route)
+        summary.requests += 1
+        status = record.get("status")
+        if isinstance(status, int) and status >= 400:
+            summary.errors += 1
+        size = record.get("bytes")
+        if isinstance(size, int):
+            summary.bytes_total += size
+        duration = record.get("duration_us")
+        if isinstance(duration, int):
+            summary.durations_us.append(duration)
+    rows = [routes[route].finalize() for route in sorted(routes)]
+    return {
+        "requests": sum(row["requests"] for row in rows),
+        "errors": sum(row["errors"] for row in rows),
+        "bytes": sum(row["bytes"] for row in rows),
+        "routes": rows,
+    }
+
+
+def render_access(summary: dict) -> str:
+    """Human-readable per-route table (requests desc, then name)."""
+    lines = [f"access log: {summary['requests']} requests, "
+             f"{summary['errors']} errors, {summary['bytes']} bytes"]
+    rows = sorted(summary["routes"],
+                  key=lambda row: (-row["requests"], row["route"]))
+    if not rows:
+        return lines[0]
+    width = max(len(row["route"]) for row in rows)
+    lines.append(f"  {'route'.ljust(width)}  {'reqs':>6} {'errs':>5} "
+                 f"{'p50_us':>8} {'p95_us':>8} {'max_us':>8} "
+                 f"{'bytes':>10}")
+    for row in rows:
+        lines.append(
+            f"  {row['route'].ljust(width)}  {row['requests']:>6} "
+            f"{row['errors']:>5} {row['p50_us']:>8} {row['p95_us']:>8} "
+            f"{row['max_us']:>8} {row['bytes']:>10}")
+    return "\n".join(lines)

@@ -77,6 +77,91 @@ def load_spans_doc(path: str):
         raise ArtifactError(str(error)) from None
 
 
+def load_spans_url(url: str):
+    """Fetch and decode a remote spans document for ``spans --url``.
+
+    ``url`` is the service's ``/v1/jobs/<id>/spans`` endpoint.  HTTP
+    errors surface the server's ``{"error": ...}`` detail; transport
+    errors and malformed documents follow the same taxonomy as the
+    file loader, so ``repro spans`` behaves identically on both inputs.
+    """
+    import json
+    import urllib.error
+    import urllib.request
+
+    from repro.analysis.spans import SpansFormatError, decode_spans
+
+    if not url.startswith(("http://", "https://")):
+        raise ArtifactError(f"--url must be an http(s) URL, got {url!r}")
+    try:
+        with urllib.request.urlopen(url) as response:
+            payload = response.read()
+    except urllib.error.HTTPError as error:
+        detail = ""
+        try:
+            body = json.loads(error.read())
+            if isinstance(body, dict):
+                detail = body.get("error", "")
+        except ValueError:
+            pass
+        raise ArtifactError(
+            f"service answered {error.code} for {url}"
+            + (f": {detail}" if detail else "")) from None
+    except (OSError, urllib.error.URLError) as error:
+        raise ArtifactError(f"cannot fetch {url}: {error}") from None
+    try:
+        doc = json.loads(payload)
+    except ValueError as error:
+        raise ArtifactError(
+            f"{url} did not return valid JSON: {error}") from None
+    try:
+        return decode_spans(doc, source="GET /v1/jobs/<id>/spans")
+    except SpansFormatError as error:
+        raise ArtifactError(str(error)) from None
+
+
+def load_access_records(path: str) -> list[dict]:
+    """Load a service access log (JSONL) for ``stats --access-log``.
+
+    Raises :class:`ArtifactError` when the file is unreadable, a line
+    is not a JSON object of kind ``access``, or a record carries a
+    newer schema version than this build writes.
+    """
+    import json
+
+    from repro.service.server import ACCESS_LOG_SCHEMA_VERSION
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        raise ArtifactError(
+            f"cannot read access log {path}: {error}") from None
+    records = []
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as error:
+            raise ArtifactError(
+                f"{path} is not a valid JSONL access log "
+                f"(line {line_no}: {error})") from None
+        if not isinstance(record, dict) or record.get("kind") != "access":
+            raise ArtifactError(
+                f"{path} line {line_no} is not an access record; "
+                f"expected a file written by repro serve --access-log")
+        version = record.get("v")
+        if isinstance(version, int) and \
+                version > ACCESS_LOG_SCHEMA_VERSION:
+            raise ArtifactError(
+                f"{path} uses access-log schema v{version}, newer than "
+                f"the supported v{ACCESS_LOG_SCHEMA_VERSION}; upgrade "
+                f"repro to read this log")
+        records.append(record)
+    return records
+
+
 def load_bench_metrics(results_dir: str) -> dict:
     """Collect current benchmark snapshot metrics for ``bench record``.
 

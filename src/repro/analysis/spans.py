@@ -74,10 +74,22 @@ def load_spans(path: str) -> SpansDoc:
     except ValueError as exc:
         raise SpansFormatError(
             f"spans file is not valid JSON: {exc}") from exc
+    return decode_spans(doc, source="--spans FILE")
+
+
+def decode_spans(doc, source: str = "a spans producer") -> SpansDoc:
+    """Decode an already-parsed spans document.
+
+    The shared back half of :func:`load_spans` and the remote
+    ``/v1/jobs/<id>/spans`` path — both a local artifact file and the
+    service endpoint serve the same schema-versioned document, so both
+    validate and decode identically here.  ``source`` names the
+    expected producer in the missing-section message.
+    """
     if not isinstance(doc, dict) or "spans" not in doc:
         raise SpansFormatError(
-            "not a spans document (missing the 'spans' section); "
-            "expected a file written by --spans FILE")
+            f"not a spans document (missing the 'spans' section); "
+            f"expected output of {source}")
     schema = doc.get("schema")
     if not isinstance(schema, int):
         raise SpansFormatError("spans document has no integer 'schema'")

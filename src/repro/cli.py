@@ -12,10 +12,16 @@ Subcommands:
 * ``submit <name>`` — submit one experiment to a running service,
   stream its progress events, and print the result JSON.
 * ``jobs [id]`` — list a service's jobs (or show one job record).
-* ``stats <journal.jsonl>`` — summarise a telemetry run journal.
+* ``top --url URL...`` — live dashboard over one or more running
+  services (jobs by state, cells/s, cache hit rate, queue depth, RSS;
+  ``--once`` prints a single snapshot).
+* ``stats <journal.jsonl>`` — summarise a telemetry run journal;
+  ``stats --access-log FILE`` summarises a service access log instead.
 * ``trace <events.jsonl>`` — analyse a DRFM/RLP mitigation event trace.
 * ``spans <spans.json>`` — analyse a sweep span trace (critical path,
-  per-worker breakdown, Chrome-trace export for Perfetto).
+  per-worker breakdown, Chrome-trace export for Perfetto);
+  ``spans --url http://.../v1/jobs/<id>/spans`` analyses a remote
+  job's spans straight off a running service.
 * ``bench check|record`` — the benchmark-regression observatory: gate
   the committed benchmark snapshots against ``BENCH_history.jsonl``.
 * ``storage <t_rh>`` — print the full-size storage comparison.
@@ -102,17 +108,25 @@ engine backends (--backend, results byte-identical across all three):
                        else stays scalar
 
 sweep service workflows (docs/service.md):
-  dream-repro serve --cache-dir .svc-cache     start the job service
+  dream-repro serve --cache-dir .svc-cache --access-log access.jsonl
+                                               start the job service
   dream-repro submit fig9                      submit + stream + print
                                                the deterministic result
   dream-repro jobs                             list jobs and their
                                                cache-coalescing counters
+  dream-repro top --url http://host:8731       live dashboard (jobs,
+                                               cells/s, cache, RSS)
 
 observability workflows:
   dream-repro run fig5 --spans spans.json      record a sweep span trace
   dream-repro spans spans.json                 critical path + breakdown
+  dream-repro spans --url http://host:8731/v1/jobs/j1/spans
+                                               same analysis on a remote
+                                               job's spans
   dream-repro spans spans.json --chrome-trace out.json
                                                export for Perfetto
+  dream-repro stats --access-log access.jsonl  per-route latency/error
+                                               summary of a service log
   dream-repro bench check                      gate committed benchmark
                                                snapshots against history
   dream-repro bench record --note "..."        append current numbers to
@@ -371,6 +385,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.analysis.artifacts import load_journal_records
     from repro.analysis.charts import bar_chart
 
+    if bool(args.journal) == bool(args.access_log):
+        print("error: stats needs exactly one input: a journal file "
+              "or --access-log FILE", file=sys.stderr)
+        return 2
+    if args.access_log:
+        from repro.analysis.access import render_access, summarize_access
+        from repro.analysis.artifacts import load_access_records
+
+        records = _load_artifact(load_access_records, args.access_log)
+        if not records:
+            print(f"{args.access_log}: empty access log")
+            return 1
+        print(f"== access log: {args.access_log} ==")
+        print(render_access(summarize_access(records)))
+        return 0
+
     records = _load_artifact(load_journal_records, args.journal)
     if not records:
         print(f"{args.journal}: empty journal")
@@ -461,10 +491,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_spans(args: argparse.Namespace) -> int:
     import json as json_module
 
-    from repro.analysis.artifacts import load_spans_doc
+    from repro.analysis.artifacts import load_spans_doc, load_spans_url
     from repro.analysis.spans import chrome_trace, render_spans
 
-    doc = _load_artifact(load_spans_doc, args.spans)
+    if bool(args.spans) == bool(args.url):
+        print("error: spans needs exactly one input: a spans file or "
+              "--url http://.../v1/jobs/<id>/spans", file=sys.stderr)
+        return 2
+    if args.url:
+        doc = _load_artifact(load_spans_url, args.url)
+    else:
+        doc = _load_artifact(load_spans_doc, args.spans)
     print(render_spans(doc, top=args.top))
     if args.chrome_trace:
         trace = chrome_trace(doc.roots)
@@ -524,8 +561,9 @@ def _service_call(call, *call_args, **call_kwargs):
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.obs.resource import ResourceSampler
     from repro.service.jobs import JobScheduler
-    from repro.service.server import SweepService
+    from repro.service.server import AccessLog, SweepService
 
     jobs_flag = args.jobs if args.jobs is not None else _env_jobs()
     jobs = jobs_flag if jobs_flag is not None else 1
@@ -534,13 +572,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR", "")
     cache = RunCache(cache_dir) if cache_dir else None
     executor = SweepExecutor(jobs=jobs, cache=cache)
-    scheduler = JobScheduler(executor)
-    service = SweepService(scheduler, host=args.host, port=args.port)
+    scheduler = JobScheduler(executor, spans=not args.no_spans)
+    access_log = AccessLog(args.access_log) if args.access_log else None
+    resources = ResourceSampler(scheduler.registry)
+    service = SweepService(scheduler, host=args.host, port=args.port,
+                           access_log=access_log,
+                           queue_limit=args.queue_limit,
+                           resources=resources)
 
     async def serve() -> None:
         await service.start()
         print(f"[repro.service] listening on {service.url} "
               f"({executor.describe()})", file=sys.stderr)
+        if access_log is not None:
+            print(f"[repro.service] access log: {access_log.path}",
+                  file=sys.stderr)
         if args.port_file:
             with open(args.port_file, "w", encoding="utf-8") as handle:
                 handle.write(f"{service.port}\n")
@@ -549,13 +595,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         finally:
             await service.stop()
 
+    resources.start()
     try:
         asyncio.run(serve())
     except KeyboardInterrupt:
         print("[repro.service] shutting down", file=sys.stderr)
     finally:
+        resources.stop()
         scheduler.close()
+        if access_log is not None:
+            access_log.close()
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.analysis.top import TopDashboard
+
+    urls = args.url or [_service_url(args)]
+    dashboard = TopDashboard(urls, interval_s=args.interval)
+    if args.once:
+        return dashboard.run_once()
+    return dashboard.run()
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -717,6 +777,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="DREAM (ISCA 2025) reproduction harness",
         epilog=ENV_HELP,
         formatter_class=argparse.RawDescriptionHelpFormatter)
+    from repro import __version__
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list experiments").set_defaults(
@@ -772,7 +835,37 @@ def build_parser() -> argparse.ArgumentParser:
                               help="content-addressed run cache shared "
                                    "by all jobs (default "
                                    "REPRO_CACHE_DIR)")
+    serve_parser.add_argument("--access-log", metavar="FILE",
+                              help="append one JSONL record per request "
+                                   "(summarise with 'stats "
+                                   "--access-log FILE')")
+    serve_parser.add_argument("--queue-limit", type=int, default=None,
+                              metavar="N",
+                              help="readiness high-water mark: /v1/readyz"
+                                   " (and new submissions) answer 503 "
+                                   "while N jobs are already queued "
+                                   "(default 64)")
+    serve_parser.add_argument("--no-spans", action="store_true",
+                              help="disable per-job span capture "
+                                   "(/v1/jobs/<id>/spans answers 404)")
     serve_parser.set_defaults(func=_cmd_serve)
+
+    top_parser = sub.add_parser(
+        "top", help="live dashboard over running sweep services "
+                    "(jobs by state, cells/s, cache hit rate, queue "
+                    "depth, RSS)")
+    top_parser.add_argument("--url", metavar="URL", action="append",
+                            help="service base URL; repeat for several "
+                                 "instances (default REPRO_SERVICE_URL, "
+                                 "else http://127.0.0.1:"
+                                 f"{DEFAULT_SERVICE_PORT})")
+    top_parser.add_argument("--interval", type=float, default=2.0,
+                            metavar="S",
+                            help="seconds between polls (default 2)")
+    top_parser.add_argument("--once", action="store_true",
+                            help="print one snapshot and exit (exit 2 "
+                                 "when no instance answered)")
+    top_parser.set_defaults(func=_cmd_top)
 
     submit_parser = sub.add_parser(
         "submit", help="submit one experiment to a running service, "
@@ -817,8 +910,16 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_parser.set_defaults(func=_cmd_jobs)
 
     stats_parser = sub.add_parser(
-        "stats", help="summarise a telemetry journal (JSONL)")
-    stats_parser.add_argument("journal", help="journal file to read")
+        "stats", help="summarise a telemetry journal (JSONL), or a "
+                      "service access log via --access-log")
+    stats_parser.add_argument("journal", nargs="?",
+                              help="journal file to read (omit when "
+                                   "using --access-log)")
+    stats_parser.add_argument("--access-log", metavar="FILE",
+                              help="summarise a 'serve --access-log' "
+                                   "request log instead (per-route "
+                                   "requests, errors, latency "
+                                   "percentiles, bytes)")
     stats_parser.add_argument("--max-bars", type=int, default=24,
                               help="bucket the sample chart to at most "
                                    "this many bars")
@@ -839,8 +940,13 @@ def build_parser() -> argparse.ArgumentParser:
         "spans", help="analyse a sweep span trace (--spans output): "
                       "critical path, per-worker breakdown, "
                       "Chrome-trace export")
-    spans_parser.add_argument("spans", help="spans file to read "
-                                            "(--spans FILE output)")
+    spans_parser.add_argument("spans", nargs="?",
+                              help="spans file to read (--spans FILE "
+                                   "output; omit when using --url)")
+    spans_parser.add_argument("--url", metavar="URL",
+                              help="analyse a remote job instead: the "
+                                   "service's /v1/jobs/<id>/spans "
+                                   "endpoint")
     spans_parser.add_argument("--chrome-trace", metavar="OUT",
                               help="also export Chrome trace-event JSON "
                                    "(loadable in Perfetto)")

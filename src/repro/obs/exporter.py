@@ -1,0 +1,406 @@
+"""Prometheus text-exposition rendering of the obs metrics registry.
+
+The sweep service's ``GET /v1/metrics`` endpoint — and anything else
+that wants to expose an ambient :class:`~repro.obs.metrics
+.MetricsRegistry` to a scraper — renders through this module.  It
+implements the classic Prometheus *text exposition format* (version
+0.0.4): ``# HELP`` / ``# TYPE`` comment lines followed by sample lines,
+counters suffixed ``_total``, histograms exploded into cumulative
+``_bucket{le="..."}`` series plus ``_sum``/``_count``.
+
+Three layers live here:
+
+* **name/label hygiene** — registry names are hierarchical and dotted
+  (``mc.sc0.rlp``); :func:`sanitize_metric_name` maps them onto the
+  exposition grammar (``repro_mc_sc0_rlp``) and
+  :func:`escape_label_value` applies the format's backslash escaping;
+* :class:`Exposition` — a small builder collecting metric families
+  (counter / gauge / histogram, with optional labels and help text) and
+  rendering them in one deterministic pass;
+* :func:`parse_exposition` — a strict ``promtool check metrics``-style
+  line-format validator used by the tests and the CI smoke job, so the
+  served document is checked against the grammar we claim to emit, not
+  against our own renderer's habits.
+
+Everything here is wall-clock- and load-bearing state (queue depths,
+RSS, hit counters), so the exposition surface is explicitly **outside**
+the byte-identity determinism contract — see ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+#: Content type the exposition format is served under.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Metric-family kinds the renderer emits and the validator accepts.
+KINDS = ("counter", "gauge", "histogram", "summary", "untyped")
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_INVALID_CHARS_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+class ExpositionFormatError(ValueError):
+    """A document that violates the text exposition grammar; the
+    message carries the offending line number and content."""
+
+
+def sanitize_metric_name(name: str, prefix: str = "") -> str:
+    """Map an arbitrary (dotted, hyphenated...) name onto the metric
+    grammar ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+
+    Invalid characters become ``_``; a leading digit is guarded with
+    ``_``; an optional ``prefix`` (assumed already valid) is joined
+    with ``_`` — ``sanitize_metric_name("mc.sc0.rlp", "repro")`` is
+    ``"repro_mc_sc0_rlp"``.
+    """
+    cleaned = _INVALID_CHARS_RE.sub("_", name) or "_"
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return f"{prefix}_{cleaned}" if prefix else cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the format: backslash, double quote and
+    newline become ``\\\\``, ``\\"`` and ``\\n``."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def format_sample_value(value: float) -> str:
+    """Render a sample value: integral values without a decimal point,
+    non-finite values as ``+Inf``/``-Inf``/``NaN``."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _render_labels(labels: dict[str, str] | None) -> str:
+    if not labels:
+        return ""
+    pairs = []
+    for name in sorted(labels):
+        if not _LABEL_NAME_RE.match(name):
+            raise ValueError(f"invalid label name {name!r}")
+        pairs.append(f'{name}="{escape_label_value(str(labels[name]))}"')
+    return "{" + ",".join(pairs) + "}"
+
+
+@dataclass
+class _Family:
+    """One metric family: a TYPE/HELP header plus its sample lines."""
+
+    name: str
+    kind: str
+    help: str | None = None
+    samples: list[str] = field(default_factory=list)
+
+    def render(self) -> list[str]:
+        lines = []
+        if self.help is not None:
+            help_text = self.help.replace("\\", "\\\\") \
+                .replace("\n", "\\n")
+            lines.append(f"# HELP {self.name} {help_text}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        lines.extend(self.samples)
+        return lines
+
+
+class Exposition:
+    """Builder for one text-exposition document.
+
+    Families render in insertion order; sample lines within a family
+    render in insertion order too, so callers that feed sorted inputs
+    (e.g. :func:`collect_registry`) get a deterministic document.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    def _family(self, name: str, kind: str,
+                help_text: str | None) -> _Family:
+        if not _METRIC_NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}; run it "
+                             f"through sanitize_metric_name first")
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = _Family(name, kind,
+                                                    help_text)
+        elif family.kind != kind:
+            raise ValueError(f"metric {name!r} already added as "
+                             f"{family.kind}, not {kind}")
+        return family
+
+    def counter(self, name: str, value: float,
+                labels: dict[str, str] | None = None,
+                help_text: str | None = None) -> None:
+        """Add one counter sample; the sample name gains the
+        conventional ``_total`` suffix if not already present."""
+        sample = name if name.endswith("_total") else name + "_total"
+        family = self._family(sample, "counter", help_text)
+        family.samples.append(
+            f"{sample}{_render_labels(labels)} "
+            f"{format_sample_value(value)}")
+
+    def gauge(self, name: str, value: float,
+              labels: dict[str, str] | None = None,
+              help_text: str | None = None) -> None:
+        """Add one gauge sample."""
+        family = self._family(name, "gauge", help_text)
+        family.samples.append(
+            f"{name}{_render_labels(labels)} "
+            f"{format_sample_value(value)}")
+
+    def histogram(self, name: str, *, bounds: tuple[float, ...],
+                  counts: list[int], overflow: int, count: int,
+                  total: float, labels: dict[str, str] | None = None,
+                  help_text: str | None = None) -> None:
+        """Add one histogram: cumulative ``_bucket`` series (closed by
+        the mandatory ``le="+Inf"`` bucket), then ``_sum``/``_count``.
+
+        ``bounds``/``counts``/``overflow``/``count``/``total`` mirror
+        :class:`~repro.obs.metrics.Histogram`'s fields — per-bucket
+        counts are converted to the format's cumulative convention
+        here.
+        """
+        family = self._family(name, "histogram", help_text)
+        base = dict(labels) if labels else {}
+        cumulative = 0
+        for bound, bucket_count in zip(bounds, counts):
+            cumulative += bucket_count
+            bucket_labels = dict(base)
+            bucket_labels["le"] = format_sample_value(float(bound))
+            family.samples.append(
+                f"{name}_bucket{_render_labels(bucket_labels)} "
+                f"{cumulative}")
+        inf_labels = dict(base)
+        inf_labels["le"] = "+Inf"
+        family.samples.append(
+            f"{name}_bucket{_render_labels(inf_labels)} "
+            f"{cumulative + overflow}")
+        family.samples.append(
+            f"{name}_sum{_render_labels(base)} "
+            f"{format_sample_value(total)}")
+        family.samples.append(
+            f"{name}_count{_render_labels(base)} {count}")
+
+    def render(self) -> str:
+        """The document: families in insertion order, trailing newline."""
+        lines: list[str] = []
+        for family in self._families.values():
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def collect_registry(exposition: Exposition, registry: MetricsRegistry,
+                     prefix: str = "repro") -> None:
+    """Fold every instrument of ``registry`` into ``exposition``.
+
+    Names are sanitized under ``prefix`` and iterated in sorted order,
+    so the same registry contents always render the same document.
+    """
+    for name in registry.names():
+        instrument = registry.get(name)
+        metric = sanitize_metric_name(name, prefix)
+        if isinstance(instrument, Histogram):
+            exposition.histogram(
+                metric, bounds=instrument.bounds,
+                counts=list(instrument.counts),
+                overflow=instrument.overflow,
+                count=instrument.count, total=instrument.total)
+        elif isinstance(instrument, Counter):
+            exposition.counter(metric, instrument.value)
+        elif isinstance(instrument, Gauge):
+            exposition.gauge(metric, instrument.value)
+
+
+# ----------------------------------------------------------------------
+# Validation / parsing (the promtool-style line checker)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Sample:
+    """One parsed sample line."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+    def label(self, name: str, default: str | None = None) -> str | None:
+        for key, value in self.labels:
+            if key == name:
+                return value
+        return default
+
+
+def _parse_value(raw: str, line_no: int) -> float:
+    special = {"+Inf": math.inf, "-Inf": -math.inf, "Inf": math.inf,
+               "NaN": math.nan}
+    if raw in special:
+        return special[raw]
+    try:
+        return float(raw)
+    except ValueError:
+        raise ExpositionFormatError(
+            f"line {line_no}: invalid sample value {raw!r}") from None
+
+
+def _parse_labels(raw: str, line_no: int) -> tuple[tuple[str, str], ...]:
+    """Parse the ``{name="value",...}`` body (without the braces)."""
+    labels: list[tuple[str, str]] = []
+    position = 0
+    length = len(raw)
+    while position < length:
+        equals = raw.find("=", position)
+        if equals < 0:
+            raise ExpositionFormatError(
+                f"line {line_no}: malformed label pair near "
+                f"{raw[position:]!r}")
+        name = raw[position:equals].strip()
+        if not _LABEL_NAME_RE.match(name):
+            raise ExpositionFormatError(
+                f"line {line_no}: invalid label name {name!r}")
+        position = equals + 1
+        if position >= length or raw[position] != '"':
+            raise ExpositionFormatError(
+                f"line {line_no}: label value of {name!r} is not "
+                f"quoted")
+        position += 1
+        value_chars: list[str] = []
+        while True:
+            if position >= length:
+                raise ExpositionFormatError(
+                    f"line {line_no}: unterminated label value for "
+                    f"{name!r}")
+            char = raw[position]
+            if char == "\\":
+                if position + 1 >= length:
+                    raise ExpositionFormatError(
+                        f"line {line_no}: dangling escape in label "
+                        f"value for {name!r}")
+                escape = raw[position + 1]
+                if escape == "n":
+                    value_chars.append("\n")
+                elif escape in ("\\", '"'):
+                    value_chars.append(escape)
+                else:
+                    raise ExpositionFormatError(
+                        f"line {line_no}: invalid escape "
+                        f"'\\{escape}' in label value for {name!r}")
+                position += 2
+                continue
+            if char == '"':
+                position += 1
+                break
+            value_chars.append(char)
+            position += 1
+        labels.append((name, "".join(value_chars)))
+        if position < length:
+            if raw[position] != ",":
+                raise ExpositionFormatError(
+                    f"line {line_no}: expected ',' between labels, "
+                    f"got {raw[position]!r}")
+            position += 1
+    return tuple(labels)
+
+
+def parse_exposition(text: str) -> list[Sample]:
+    """Parse and validate a text-exposition document.
+
+    Enforces the grammar the way ``promtool check metrics`` does:
+    metric and label names must match the format's character classes,
+    label values must be correctly quoted and escaped, values must
+    parse as floats (or the ``+Inf``/``-Inf``/``NaN`` specials), every
+    ``# TYPE`` must use a known kind, appear at most once per family,
+    and precede that family's samples.  Raises
+    :class:`ExpositionFormatError` on the first violation; returns the
+    parsed :class:`Sample` list otherwise.
+    """
+    samples: list[Sample] = []
+    typed: dict[str, str] = {}
+    seen_families: set[str] = set()
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not _METRIC_NAME_RE.match(parts[2]):
+                    raise ExpositionFormatError(
+                        f"line {line_no}: {parts[1]} line without a "
+                        f"valid metric name")
+                if parts[1] == "TYPE":
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in KINDS:
+                        raise ExpositionFormatError(
+                            f"line {line_no}: unknown metric type "
+                            f"{kind!r}")
+                    if parts[2] in typed:
+                        raise ExpositionFormatError(
+                            f"line {line_no}: duplicate TYPE for "
+                            f"{parts[2]!r}")
+                    if parts[2] in seen_families:
+                        raise ExpositionFormatError(
+                            f"line {line_no}: TYPE for {parts[2]!r} "
+                            f"after its samples")
+                    typed[parts[2]] = kind
+            continue
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                raise ExpositionFormatError(
+                    f"line {line_no}: unbalanced braces")
+            name = line[:brace].strip()
+            labels = _parse_labels(line[brace + 1:close], line_no)
+            rest = line[close + 1:].split()
+        else:
+            fields = line.split()
+            name = fields[0] if fields else ""
+            labels = ()
+            rest = fields[1:]
+        if not _METRIC_NAME_RE.match(name):
+            raise ExpositionFormatError(
+                f"line {line_no}: invalid metric name {name!r}")
+        if not rest or len(rest) > 2:  # optional trailing timestamp
+            raise ExpositionFormatError(
+                f"line {line_no}: expected '<name>[{{labels}}] "
+                f"<value> [timestamp]'")
+        value = _parse_value(rest[0], line_no)
+        for family, kind in typed.items():
+            if kind == "histogram" and (
+                    name in (f"{family}_sum", f"{family}_count",
+                             f"{family}_bucket")):
+                seen_families.add(family)
+                break
+        else:
+            seen_families.add(name)
+        samples.append(Sample(name=name, labels=labels, value=value))
+    return samples
+
+
+def sample_value(samples: list[Sample], name: str,
+                 **labels: str) -> float | None:
+    """The value of the first sample matching ``name`` and ``labels``
+    (a convenience for tests and the CI smoke assertions)."""
+    wanted = tuple(sorted(labels.items()))
+    for sample in samples:
+        if sample.name != name:
+            continue
+        if all(sample.label(key) == value for key, value in wanted):
+            return sample.value
+    return None

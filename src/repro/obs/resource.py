@@ -1,0 +1,126 @@
+"""Lightweight process-resource sampling (RSS, open file descriptors).
+
+The sweep service's metrics exposition wants two load-bearing gauges a
+Python process cannot read from its own interpreter state: resident-set
+size and the open-fd count.  :class:`ResourceSampler` reads both from
+``/proc/self`` (with a ``resource.getrusage`` fallback for non-Linux
+hosts) and publishes them as ``proc.rss_bytes`` / ``proc.open_fds``
+gauges in a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Sampling is cheap (two small ``/proc`` reads) and happens two ways:
+
+* **on demand** — the metrics endpoint calls :meth:`sample` at scrape
+  time so the exposition always carries fresh values;
+* **periodically** — :meth:`start` runs a daemon thread sampling every
+  ``interval_s``, so in-process consumers of the registry (and a crash
+  post-mortem of the last written metrics snapshot) see recent values
+  even when nobody scrapes.
+
+Both gauges are wall-clock/host-state quantities: they live outside
+the deterministic ``metrics`` byte-identity contract (the exporter's
+docs state the scope; see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Default seconds between background samples.
+DEFAULT_INTERVAL_S = 5.0
+
+#: Registry gauge names the sampler publishes.
+RSS_GAUGE = "proc.rss_bytes"
+OPEN_FDS_GAUGE = "proc.open_fds"
+
+
+def rss_bytes() -> int:
+    """Current resident-set size in bytes (0 when unreadable).
+
+    Prefers ``/proc/self/statm`` (second field: resident pages); falls
+    back to ``getrusage`` peak RSS (kilobytes on Linux) elsewhere.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * (os.sysconf("SC_PAGE_SIZE") or 4096)
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource as resource_module
+
+        usage = resource_module.getrusage(resource_module.RUSAGE_SELF)
+        return int(usage.ru_maxrss) * 1024
+    except (ImportError, OSError, ValueError):
+        return 0
+
+
+def open_fds() -> int:
+    """Number of open file descriptors (0 when unreadable)."""
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return 0
+
+
+class ResourceSampler:
+    """Samples process RSS / open-fd gauges into a metrics registry.
+
+    Usable three ways: call :meth:`sample` directly, run the background
+    thread via :meth:`start`/:meth:`stop`, or context-manage it (enter
+    starts, exit stops).  ``start`` takes an initial sample before the
+    thread's first interval so gauges are never zero-by-omission.
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 interval_s: float = DEFAULT_INTERVAL_S) -> None:
+        self.registry = registry
+        self.interval_s = interval_s
+        self.samples = 0
+        self._rss = registry.gauge(RSS_GAUGE)
+        self._fds = registry.gauge(OPEN_FDS_GAUGE)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def sample(self) -> dict:
+        """Take one sample; sets both gauges, returns the values."""
+        rss = rss_bytes()
+        fds = open_fds()
+        self._rss.set(rss)
+        self._fds.set(fds)
+        self.samples += 1
+        return {"rss_bytes": rss, "open_fds": fds}
+
+    # ------------------------------------------------------------------
+    # Background thread
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the daemon sampler thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self.sample()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-resource-sampler",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the sampler thread (idempotent; safe if never started)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample()
+
+    def __enter__(self) -> "ResourceSampler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -50,11 +50,21 @@ TRANSPORT_ERRORS = (OSError, http.client.HTTPException)
 
 class ServiceError(Exception):
     """The service is unreachable (transport retries exhausted) or
-    answered with an HTTP error status."""
+    answered with an HTTP error status.
 
-    def __init__(self, message: str, status: int | None = None) -> None:
+    A 503 (service not ready) additionally carries ``retry_after_s`` —
+    taken from the ``Retry-After`` header or the body's
+    ``retry_after_s`` field — so callers can implement their own
+    resubmission policy.  The client itself never retries a 503 on
+    ``POST /v1/jobs``: job creation is not idempotent, and only
+    *transport* failures (where no response arrived) are ever retried.
+    """
+
+    def __init__(self, message: str, status: int | None = None,
+                 retry_after_s: float | None = None) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after_s = retry_after_s
 
 
 class JobFailed(ServiceError):
@@ -197,10 +207,46 @@ class SweepClient:
             record = self.wait(job_id)
             if record["state"] == "failed":
                 raise JobFailed(record.get("error") or "job failed")
-        status, body = self._request("GET", f"/v1/jobs/{job_id}/result")
+        status, body, headers = self._request(
+            "GET", f"/v1/jobs/{job_id}/result")
         if status == 200:
             return body.decode("utf-8")
-        self._raise_http(status, body)
+        self._raise_http(status, body, headers)
+
+    def spans(self, job_id: str) -> str:
+        """The finished job's span-document JSON text (the same shape
+        ``repro run --spans FILE`` writes locally); input for
+        ``repro spans --url``."""
+        status, body, headers = self._request(
+            "GET", f"/v1/jobs/{job_id}/spans")
+        if status == 200:
+            return body.decode("utf-8")
+        self._raise_http(status, body, headers)
+
+    # ------------------------------------------------------------------
+    # Observability API
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness: the parsed ``/v1/healthz`` body (200 expected)."""
+        return self._request_json("GET", "/v1/healthz")
+
+    def ready(self) -> dict:
+        """Readiness: the parsed ``/v1/readyz`` body with a ``ready``
+        key added, returned for **both** 200 and 503 answers (other
+        statuses raise :class:`ServiceError`)."""
+        status, body, headers = self._request("GET", "/v1/readyz")
+        if status not in (200, 503):
+            self._raise_http(status, body, headers)
+        doc = json.loads(body)
+        doc["ready"] = status == 200
+        return doc
+
+    def metrics_text(self) -> str:
+        """The raw ``/v1/metrics`` Prometheus exposition document."""
+        status, body, headers = self._request("GET", "/v1/metrics")
+        if status != 200:
+            self._raise_http(status, body, headers)
+        return body.decode("utf-8")
 
     # ------------------------------------------------------------------
     # Transport
@@ -217,8 +263,16 @@ class SweepClient:
             yield delay
 
     def _request(self, method: str, path: str,
-                 body: str | None = None) -> tuple[int, bytes]:
-        """One request with transport retries; returns (status, body)."""
+                 body: str | None = None) \
+            -> tuple[int, bytes, dict[str, str]]:
+        """One request with transport retries; returns (status, body,
+        headers).  Header names are lower-cased.
+
+        Retries cover *transport* failures only — once any HTTP status
+        arrives it is returned as-is, so non-idempotent requests
+        (``POST /v1/jobs``) are never replayed on a 503 or any other
+        protocol-level answer.
+        """
         error: Exception | None = None
         for delay in self._attempts():
             if delay is not None:
@@ -230,7 +284,9 @@ class SweepClient:
                 connection.request(method, path, body=body,
                                    headers=headers)
                 response = connection.getresponse()
-                return response.status, response.read()
+                response_headers = {name.lower(): value for name, value
+                                    in response.getheaders()}
+                return response.status, response.read(), response_headers
             except TRANSPORT_ERRORS as exc:
                 error = exc
             finally:
@@ -241,9 +297,9 @@ class SweepClient:
 
     def _request_json(self, method: str, path: str,
                       body: str | None = None) -> dict:
-        status, payload = self._request(method, path, body=body)
+        status, payload, headers = self._request(method, path, body=body)
         if status != 200:
-            self._raise_http(status, payload)
+            self._raise_http(status, payload, headers)
         return json.loads(payload)
 
     def _open_stream(self, job_id: str, cursor: int):
@@ -271,10 +327,25 @@ class SweepClient:
             f"cannot reach sweep service at {self.base_url}: "
             f"{type(error).__name__}: {error}")
 
-    def _raise_http(self, status: int, payload: bytes):
+    def _raise_http(self, status: int, payload: bytes,
+                    headers: dict[str, str] | None = None):
+        doc: dict = {}
         try:
-            message = json.loads(payload).get("error", "")
+            doc = json.loads(payload)
+            message = doc.get("error", "") if isinstance(doc, dict) else ""
         except ValueError:
             message = payload.decode("utf-8", "replace").strip()
+        retry_after_s = None
+        if status == 503:
+            raw = (headers or {}).get("retry-after")
+            if raw is None and isinstance(doc, dict):
+                raw = doc.get("retry_after_s")
+            try:
+                retry_after_s = float(raw) if raw is not None else None
+            except (TypeError, ValueError):
+                retry_after_s = None
+        suffix = f" (retry after {retry_after_s:g}s)" \
+            if retry_after_s is not None else ""
         raise ServiceError(f"service answered {status}: "
-                           f"{message or 'no detail'}", status=status)
+                           f"{message or 'no detail'}{suffix}",
+                           status=status, retry_after_s=retry_after_s)

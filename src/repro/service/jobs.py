@@ -30,10 +30,21 @@ memo or cache hit / resumed / retried / failed) is appended to the
 job's ordered event log with a monotonically increasing ``seq``, which
 is what the server's NDJSON stream — and the client's
 reconnect-with-cursor — ride on.
+
+**Observability plane.**  Unless constructed with ``spans=False``, each
+job runs under its own ambient :class:`~repro.obs.Telemetry` with span
+tracing on: the finished job keeps its merged span document (served at
+``GET /v1/jobs/<id>/spans`` for ``repro spans --url``), and the job's
+deterministic simulated-time metrics fold into the scheduler-lifetime
+:attr:`JobScheduler.registry`, which the server's ``/v1/metrics``
+exposition renders.  Telemetry never perturbs results — job result JSON
+stays byte-identical with the plane on or off (pinned by
+``tests/test_service_obs.py``).
 """
 
 from __future__ import annotations
 
+import json
 import threading
 import traceback
 from collections import deque
@@ -44,6 +55,9 @@ from repro.exec.executor import ExecutorStats, SweepExecutor
 from repro.exec.resilience import CellPolicy, SweepFailure
 from repro.experiments import registry
 from repro.experiments.common import RunOptions
+from repro.obs import Telemetry
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 #: Job lifecycle states, in order.
 JOB_STATES = ("queued", "running", "done", "failed")
@@ -66,6 +80,10 @@ class BadSubmission(ValueError):
     options, unsupported knob); the server maps this to HTTP 400."""
 
 
+class SpansUnavailable(Exception):
+    """Span capture is disabled on this scheduler (HTTP 404)."""
+
+
 @dataclass
 class Job:
     """One submitted experiment run (mutable; guarded by the scheduler
@@ -77,6 +95,7 @@ class Job:
     state: str = "queued"
     error: str | None = None
     result_json: str | None = None
+    spans_json: str | None = None
     counters: dict = field(default_factory=dict)
     events: list[dict] = field(default_factory=list)
 
@@ -123,11 +142,23 @@ class JobScheduler:
         configured) is the coalescing layer shared across jobs; its
         ``policy`` and ``backend`` are rebound per job from that job's
         options.  Defaults to a serial cacheless executor.
+    spans:
+        Run each job under a per-job span-tracing telemetry (default).
+        The finished job keeps its span document for the
+        ``/v1/jobs/<id>/spans`` endpoint, and job metrics fold into
+        :attr:`registry`.  ``False`` turns the whole per-job telemetry
+        plane off (``repro serve --no-spans``).
     """
 
-    def __init__(self, executor: SweepExecutor | None = None) -> None:
+    def __init__(self, executor: SweepExecutor | None = None,
+                 spans: bool = True) -> None:
         self.executor = executor if executor is not None \
             else SweepExecutor()
+        self.spans_enabled = spans
+        #: Scheduler-lifetime metrics: every finished job's telemetry
+        #: registry folds in here (simulated-time counters plus the
+        #: ``exec.*`` mirrors), rendered by ``GET /v1/metrics``.
+        self.registry = MetricsRegistry()
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._jobs: dict[str, Job] = {}
@@ -234,11 +265,85 @@ class JobScheduler:
                 raise JobNotDone(job.state)
             return job.result_json
 
+    def spans_text(self, job_id: str) -> str:
+        """The finished job's span document as JSON text.
+
+        Raises :class:`SpansUnavailable` when the scheduler runs with
+        ``spans=False``, :class:`UnknownJob` for unknown ids,
+        :class:`JobNotDone` while queued/running, and
+        :class:`JobFailedError` for failed jobs — mapped by the server
+        to 404/404/409/410 respectively.
+        """
+        if not self.spans_enabled:
+            raise SpansUnavailable(
+                "span capture is disabled on this service "
+                "(started with --no-spans)")
+        with self._lock:
+            job = self._job(job_id)
+            if job.state == "failed":
+                raise JobFailedError(job.error or "job failed")
+            if job.spans_json is None:
+                raise JobNotDone(job.state)
+            return job.spans_json
+
     def _job(self, job_id: str) -> Job:
         try:
             return self._jobs[job_id]
         except KeyError:
             raise UnknownJob(job_id) from None
+
+    # ------------------------------------------------------------------
+    # Observability accessors (the server's metrics/readiness surface)
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Point-in-time scheduler load figures for exposition and
+        readiness: total jobs ever submitted, per-state counts, and the
+        queue depth (jobs submitted but not yet started)."""
+        with self._lock:
+            states = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                states[job.state] += 1
+            return {"jobs_total": len(self._jobs),
+                    "states": states,
+                    "queue_depth": len(self._queue)}
+
+    def queue_depth(self) -> int:
+        """Jobs queued but not yet running."""
+        with self._lock:
+            return len(self._queue)
+
+    def worker_alive(self) -> bool:
+        """Whether the worker thread is still able to run jobs."""
+        return self._thread.is_alive() and not self._closed
+
+    def collect_metrics(self, exposition, prefix: str = "repro") -> None:
+        """Render the merged job registry into an
+        :class:`~repro.obs.exporter.Exposition` (under the scheduler
+        lock, so a concurrent job-completion fold cannot tear the
+        iteration)."""
+        from repro.obs.exporter import collect_registry
+
+        with self._lock:
+            collect_registry(exposition, self.registry, prefix=prefix)
+
+    def _fold_registry_locked(self, source: MetricsRegistry) -> None:
+        """Accumulate one job's telemetry registry into the scheduler's
+        lifetime registry (counters add, gauges last-write, histograms
+        merge bucket-wise)."""
+        for name in source.names():
+            instrument = source.get(name)
+            if isinstance(instrument, Histogram):
+                merged = self.registry.histogram(name, instrument.bounds)
+                if merged.bounds == instrument.bounds:
+                    for index, count in enumerate(instrument.counts):
+                        merged.counts[index] += count
+                merged.overflow += instrument.overflow
+                merged.count += instrument.count
+                merged.total += instrument.total
+            elif isinstance(instrument, Counter):
+                self.registry.counter(name).inc(instrument.value)
+            elif isinstance(instrument, Gauge):
+                self.registry.gauge(name).set(instrument.value)
 
     # ------------------------------------------------------------------
     # Event log
@@ -276,13 +381,19 @@ class JobScheduler:
             if job.options.retries is not None else defaults.retries)
         executor.backend = job.options.backend
         executor.progress = _JobProgress(self, job)
+        telemetry = Telemetry(spans=True) if self.spans_enabled else None
         before = _stats_snapshot(executor.stats)
         state, error, result_json = "done", None, None
+        spans_json = None
         try:
-            with exec_runtime.activated(executor):
+            with exec_runtime.activated(executor), \
+                    obs_runtime.activated(telemetry):
                 result = registry.run_experiment(job.experiment,
                                                  job.options)
             result_json = result.to_json()
+            if telemetry is not None:
+                spans_json = json.dumps(telemetry.spans_doc(),
+                                        sort_keys=True)
         except SweepFailure as failure:
             state, error = "failed", str(failure)
         except Exception as exc:  # noqa: BLE001 — job isolation
@@ -296,6 +407,9 @@ class JobScheduler:
             job.state = state
             job.error = error
             job.result_json = result_json
+            job.spans_json = spans_json
+            if telemetry is not None:
+                self._fold_registry_locked(telemetry.registry)
             fields = {"state": state}
             if error is not None:
                 fields["error"] = error

@@ -19,12 +19,27 @@ surface (all request/response bodies are JSON unless noted):
 ``GET  /v1/jobs/<id>/result``               the deterministic merged
                                             result JSON, byte-identical
                                             to local ``run_experiment``
+``GET  /v1/jobs/<id>/spans``                the finished job's span
+                                            document (``repro spans
+                                            --url`` input)
+``GET  /v1/healthz``                        liveness: 200 while the
+                                            process serves requests
+``GET  /v1/readyz``                         readiness: 200 when the
+                                            worker is alive, the cache
+                                            dir writable and the queue
+                                            below the high-water mark;
+                                            503 (+ ``Retry-After``)
+                                            otherwise
+``GET  /v1/metrics``                        Prometheus text exposition
+                                            of scheduler/executor/
+                                            cache/resource metrics
 ==========================================  ===========================
 
 Error taxonomy: 400 bad submission (unknown experiment, invalid
 options), 404 unknown job or path, 409 result requested before the job
-is done, 410 result of a failed job, 413 oversized body — every error
-body is ``{"error": message}``.
+is done, 410 result of a failed job, 413 oversized body, 503 submission
+while not ready (the ``Retry-After`` header and ``retry_after_s`` body
+field say when to retry) — every error body is ``{"error": message}``.
 
 The compute itself happens on the scheduler's worker thread; the event
 loop only parses requests and serialises records, so status and stream
@@ -32,18 +47,26 @@ requests stay responsive while a job simulates.  Event streaming polls
 the scheduler's append-only per-job event log (cursor = last ``seq``),
 which is also what makes client reconnects exact: the ``after`` query
 parameter resumes the stream without loss or duplication.
+
+With ``access_log`` configured every request additionally appends one
+schema-versioned JSONL record (method, path, status, duration_us, job
+id, wire bytes) — summarised by ``repro stats --access-log``.  The
+exposition/health/log surfaces are wall-clock-bearing and explicitly
+outside the byte-identity determinism contract.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
+import time
 
 from repro.experiments import registry
 from repro.experiments.common import RunOptions
 from repro.service.jobs import (BadSubmission, JobFailedError, JobNotDone,
-                                JobScheduler, UnknownJob)
+                                JobScheduler, SpansUnavailable, UnknownJob)
 
 #: Largest accepted request body (a submission is a few hundred bytes).
 MAX_BODY_BYTES = 1 << 20
@@ -51,9 +74,90 @@ MAX_BODY_BYTES = 1 << 20
 #: Seconds between event-log polls while streaming a live job.
 STREAM_POLL_S = 0.02
 
+#: Default readiness high-water mark: queued-but-not-started jobs at or
+#: beyond this depth flip ``/v1/readyz`` (and submissions) to 503.
+DEFAULT_QUEUE_LIMIT = 64
+
+#: ``Retry-After`` seconds advertised with a 503.
+RETRY_AFTER_S = 1
+
+#: Version stamped into every access-log record; bump on breaking
+#: schema changes.
+ACCESS_LOG_SCHEMA_VERSION = 1
+
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 409: "Conflict", 410: "Gone",
-            413: "Payload Too Large", 500: "Internal Server Error"}
+            413: "Payload Too Large", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+
+class AccessLog:
+    """Append-only JSONL request log.
+
+    One record per served request::
+
+        {"v": 1, "kind": "access", "ts": 1754650000.123,
+         "method": "GET", "path": "/v1/jobs/j1", "status": 200,
+         "duration_us": 812, "job": "j1", "bytes": 631}
+
+    Each record is a single ``write()`` of one complete line on an
+    ``O_APPEND`` handle, flushed immediately — so concurrent writers
+    cannot interleave partial lines and a killed service never leaves a
+    torn record (the JSONL analogue of the run cache's atomic-replace
+    discipline).  ``repro stats --access-log FILE`` summarises the file
+    through the shared artifact taxonomy.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.written = 0
+        self._lock = threading.Lock()
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def record(self, method: str, path: str, status: int,
+               duration_us: int, job: str | None,
+               response_bytes: int) -> None:
+        """Append one access record."""
+        line = json.dumps(
+            {"v": ACCESS_LOG_SCHEMA_VERSION, "kind": "access",
+             "ts": round(time.time(), 6), "method": method,
+             "path": path, "status": status,
+             "duration_us": duration_us, "job": job,
+             "bytes": response_bytes},
+            sort_keys=True) + "\n"
+        with self._lock:
+            self._handle.write(line)
+            self._handle.flush()
+            self.written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            self._handle.close()
+
+
+class _LoggedWriter:
+    """StreamWriter proxy accounting status/bytes/job for one request."""
+
+    __slots__ = ("_writer", "status", "sent", "job")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self.status: int | None = None
+        self.sent = 0
+        self.job: str | None = None
+
+    def write(self, data: bytes) -> None:
+        self.sent += len(data)
+        self._writer.write(data)
+
+    async def drain(self) -> None:
+        await self._writer.drain()
+
+    def close(self) -> None:
+        self._writer.close()
+
+    async def wait_closed(self) -> None:
+        await self._writer.wait_closed()
 
 
 class SweepService:
@@ -64,10 +168,20 @@ class SweepService:
     """
 
     def __init__(self, scheduler: JobScheduler,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 access_log: AccessLog | None = None,
+                 queue_limit: int | None = None,
+                 resources=None) -> None:
         self.scheduler = scheduler
         self.host = host
         self.port = port
+        self.access_log = access_log
+        self.queue_limit = DEFAULT_QUEUE_LIMIT if queue_limit is None \
+            else queue_limit
+        if resources is None:
+            from repro.obs.resource import ResourceSampler
+            resources = ResourceSampler(scheduler.registry)
+        self.resources = resources
         self._server: asyncio.AbstractServer | None = None
 
     # ------------------------------------------------------------------
@@ -98,7 +212,10 @@ class SweepService:
     # Connection handling
     # ------------------------------------------------------------------
     async def _handle(self, reader: asyncio.StreamReader,
-                      writer: asyncio.StreamWriter) -> None:
+                      raw_writer: asyncio.StreamWriter) -> None:
+        writer = _LoggedWriter(raw_writer)
+        request = None
+        started = time.perf_counter()
         try:
             request = await self._read_request(reader, writer)
             if request is not None:
@@ -114,6 +231,11 @@ class SweepService:
             except ConnectionError:
                 pass
         finally:
+            if self.access_log is not None and request is not None:
+                duration_us = int((time.perf_counter() - started) * 1e6)
+                self.access_log.record(
+                    request[0], request[1], writer.status or 0,
+                    duration_us, writer.job, writer.sent)
             try:
                 await writer.drain()
                 writer.close()
@@ -161,6 +283,23 @@ class SweepService:
             self._respond_json(writer, 200,
                                {"experiments": registry.names()})
             return
+        if parts == ["v1", "healthz"] and method == "GET":
+            self._respond_json(writer, 200, {"ok": True})
+            return
+        if parts == ["v1", "readyz"] and method == "GET":
+            ready, checks = self._readiness()
+            if ready:
+                self._respond_json(writer, 200,
+                                   {"ok": True, "checks": checks})
+            else:
+                self._respond_unready(writer, checks)
+            return
+        if parts == ["v1", "metrics"] and method == "GET":
+            from repro.obs.exporter import EXPOSITION_CONTENT_TYPE
+            self._respond(writer, 200,
+                          self._metrics_text().encode("utf-8"),
+                          EXPOSITION_CONTENT_TYPE)
+            return
         if parts == ["v1", "jobs"]:
             if method == "POST":
                 self._submit(writer, body)
@@ -175,6 +314,7 @@ class SweepService:
                 and method == "GET":
             job_id = parts[2]
             tail = parts[3] if len(parts) == 4 else None
+            writer.job = job_id
             try:
                 if tail is None:
                     self._respond_json(writer, 200,
@@ -185,6 +325,10 @@ class SweepService:
                     text = self.scheduler.result_text(job_id)
                     self._respond(writer, 200, text.encode("utf-8"),
                                   "application/json")
+                elif tail == "spans":
+                    text = self.scheduler.spans_text(job_id)
+                    self._respond(writer, 200, text.encode("utf-8"),
+                                  "application/json")
                 else:
                     self._respond_json(writer, 404,
                                        {"error": f"unknown endpoint "
@@ -192,6 +336,8 @@ class SweepService:
             except UnknownJob:
                 self._respond_json(writer, 404,
                                    {"error": f"unknown job {job_id!r}"})
+            except SpansUnavailable as disabled:
+                self._respond_json(writer, 404, {"error": str(disabled)})
             except JobNotDone as pending:
                 self._respond_json(writer, 409,
                                    {"error": f"job {job_id} has no "
@@ -206,6 +352,10 @@ class SweepService:
                            {"error": f"unknown endpoint {path!r}"})
 
     def _submit(self, writer, body: bytes) -> None:
+        ready, checks = self._readiness()
+        if not ready:
+            self._respond_unready(writer, checks)
+            return
         try:
             payload = json.loads(body.decode("utf-8")) if body else {}
             if not isinstance(payload, dict):
@@ -218,7 +368,90 @@ class SweepService:
         except (ValueError, BadSubmission) as error:
             self._respond_json(writer, 400, {"error": str(error)})
             return
+        writer.job = record.get("job")
         self._respond_json(writer, 200, record)
+
+    # ------------------------------------------------------------------
+    # Observability surfaces
+    # ------------------------------------------------------------------
+    def _readiness(self) -> tuple[bool, dict]:
+        """Evaluate the readiness checks (worker, cache dir, queue)."""
+        checks = {
+            "worker_alive": self.scheduler.worker_alive(),
+            "cache_writable": self._cache_writable(),
+            "queue_below_limit":
+                self.scheduler.queue_depth() < self.queue_limit,
+        }
+        return all(checks.values()), checks
+
+    def _cache_writable(self) -> bool:
+        cache = getattr(self.scheduler.executor, "cache", None)
+        if cache is None:
+            return True  # nothing to write; the check is vacuous
+        path = cache.root
+        # The cache dir is created lazily on first store — walk up to
+        # the nearest existing ancestor and ask whether we could write.
+        while not path.exists():
+            parent = path.parent
+            if parent == path:
+                break
+            path = parent
+        return os.access(path, os.W_OK)
+
+    def _respond_unready(self, writer, checks: dict) -> None:
+        failed = sorted(name for name, ok in checks.items() if not ok)
+        self._respond_json(
+            writer, 503,
+            {"error": "service not ready: "
+                      + (", ".join(failed) or "unknown"),
+             "checks": checks, "retry_after_s": RETRY_AFTER_S},
+            extra_headers={"Retry-After": str(RETRY_AFTER_S)})
+
+    def _metrics_text(self) -> str:
+        """Render the full Prometheus exposition document."""
+        from repro.obs.exporter import Exposition
+
+        expo = Exposition()
+        stats = self.scheduler.stats()
+        expo.counter("repro_jobs", stats["jobs_total"],
+                     help_text="Jobs submitted over the scheduler "
+                               "lifetime.")
+        for state, count in sorted(stats["states"].items()):
+            expo.gauge("repro_jobs_state", count,
+                       labels={"state": state},
+                       help_text="Jobs currently in each lifecycle "
+                                 "state.")
+        expo.gauge("repro_queue_depth", stats["queue_depth"],
+                   help_text="Jobs queued but not yet started.")
+        expo.gauge("repro_scheduler_worker_up",
+                   int(self.scheduler.worker_alive()),
+                   help_text="1 while the scheduler worker thread is "
+                             "alive.")
+        executor = self.scheduler.executor
+        exec_stats = getattr(executor, "stats", None)
+        if exec_stats is not None:
+            for field in ("cells", "computed", "inline", "batched",
+                          "memo_hits", "resumed", "retries", "timeouts",
+                          "failed", "fallbacks", "engine_events"):
+                expo.counter(f"repro_executor_{field}",
+                             getattr(exec_stats, field),
+                             help_text=f"Executor lifetime "
+                                       f"{field.replace('_', ' ')}.")
+            expo.counter("repro_executor_engine_seconds",
+                         exec_stats.engine_seconds,
+                         help_text="Seconds spent inside engine "
+                                   "simulation calls.")
+        cache = getattr(executor, "cache", None)
+        if cache is not None:
+            for field in ("hits", "misses", "stores", "corrupt"):
+                expo.counter(f"repro_cache_{field}",
+                             getattr(cache.stats, field),
+                             help_text=f"Run-cache {field} since "
+                                       f"startup.")
+        if self.resources is not None:
+            self.resources.sample()
+        self.scheduler.collect_metrics(expo)
+        return expo.render()
 
     async def _stream_events(self, writer, job_id: str,
                              query: dict[str, str]) -> None:
@@ -231,6 +464,7 @@ class SweepService:
         head = (f"HTTP/1.1 200 OK\r\n"
                 f"Content-Type: application/x-ndjson\r\n"
                 f"Connection: close\r\n\r\n")
+        writer.status = 200
         writer.write(head.encode("latin-1"))
         while True:
             for event in events:
@@ -248,18 +482,25 @@ class SweepService:
     # Response helpers
     # ------------------------------------------------------------------
     def _respond(self, writer, status: int, payload: bytes,
-                 content_type: str) -> None:
+                 content_type: str,
+                 extra_headers: dict[str, str] | None = None) -> None:
         reason = _REASONS.get(status, "")
+        extras = "".join(f"{name}: {value}\r\n"
+                         for name, value in (extra_headers or {}).items())
         head = (f"HTTP/1.1 {status} {reason}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
+                f"{extras}"
                 f"Connection: close\r\n\r\n")
+        writer.status = status
         writer.write(head.encode("latin-1") + payload)
 
-    def _respond_json(self, writer, status: int, payload: dict) -> None:
+    def _respond_json(self, writer, status: int, payload: dict,
+                      extra_headers: dict[str, str] | None = None) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n") \
             .encode("utf-8")
-        self._respond(writer, status, body, "application/json")
+        self._respond(writer, status, body, "application/json",
+                      extra_headers)
 
 
 class ServiceThread:
@@ -271,9 +512,11 @@ class ServiceThread:
     """
 
     def __init__(self, scheduler: JobScheduler,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 **service_kwargs) -> None:
         self.scheduler = scheduler
-        self.service = SweepService(scheduler, host=host, port=port)
+        self.service = SweepService(scheduler, host=host, port=port,
+                                    **service_kwargs)
         self._ready = threading.Event()
         self._startup_error: BaseException | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -306,6 +549,8 @@ class ServiceThread:
             self._loop.call_soon_threadsafe(self._stop.set)
         self._thread.join()
         self.scheduler.close()
+        if self.service.access_log is not None:
+            self.service.access_log.close()
 
     def _main(self) -> None:
         asyncio.run(self._serve())

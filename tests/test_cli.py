@@ -35,6 +35,16 @@ class TestParser:
                      "REPRO_FAULTS"):
             assert name in text, name
 
+    def test_version_prints_and_exits_zero(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert __version__ in out
+        assert out.startswith("dream-repro ")
+
 
 class TestModeFlags:
     def _mode(self, *argv):

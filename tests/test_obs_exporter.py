@@ -1,0 +1,233 @@
+"""Exporter tests: name sanitization, label escaping, histogram
+rendering, registry collection, and the promtool-style line validator
+round-tripping the documents we serve."""
+
+import math
+
+import pytest
+
+from repro.obs.exporter import (EXPOSITION_CONTENT_TYPE, Exposition,
+                                ExpositionFormatError, collect_registry,
+                                escape_label_value, format_sample_value,
+                                parse_exposition, sample_value,
+                                sanitize_metric_name)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestSanitizeMetricName:
+    def test_dotted_names_fold_to_underscores(self):
+        assert sanitize_metric_name("mc.sc0.rlp", "repro") \
+            == "repro_mc_sc0_rlp"
+
+    def test_hyphens_and_spaces_fold(self):
+        assert sanitize_metric_name("open-fds per proc") \
+            == "open_fds_per_proc"
+
+    def test_leading_digit_guarded(self):
+        assert sanitize_metric_name("5xx.count") == "_5xx_count"
+
+    def test_empty_name_becomes_underscore(self):
+        assert sanitize_metric_name("") == "_"
+
+    def test_valid_name_unchanged(self):
+        assert sanitize_metric_name("repro_jobs") == "repro_jobs"
+
+    def test_colons_allowed(self):
+        assert sanitize_metric_name("ns:metric") == "ns:metric"
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_newline(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_plain_value_unchanged(self):
+        assert escape_label_value("blender/none") == "blender/none"
+
+    def test_round_trip_through_parser(self):
+        expo = Exposition()
+        nasty = 'quote:" slash:\\ newline:\n end'
+        expo.gauge("repro_g", 1, labels={"k": nasty})
+        samples = parse_exposition(expo.render())
+        assert samples[0].label("k") == nasty
+
+
+class TestSampleValues:
+    def test_ints_render_bare(self):
+        assert format_sample_value(7) == "7"
+        assert format_sample_value(7.0) == "7"
+
+    def test_specials(self):
+        assert format_sample_value(math.inf) == "+Inf"
+        assert format_sample_value(-math.inf) == "-Inf"
+        assert format_sample_value(math.nan) == "NaN"
+
+    def test_float_repr(self):
+        assert format_sample_value(0.25) == "0.25"
+
+
+class TestExposition:
+    def test_counter_gains_total_suffix(self):
+        expo = Exposition()
+        expo.counter("repro_jobs", 3, help_text="Jobs.")
+        text = expo.render()
+        assert "# TYPE repro_jobs_total counter" in text
+        assert "repro_jobs_total 3" in text
+
+    def test_counter_existing_suffix_not_doubled(self):
+        expo = Exposition()
+        expo.counter("repro_jobs_total", 3)
+        assert "repro_jobs_total_total" not in expo.render()
+
+    def test_labels_sorted_and_quoted(self):
+        expo = Exposition()
+        expo.gauge("repro_jobs_state", 2,
+                   labels={"state": "done", "az": "x"})
+        assert 'repro_jobs_state{az="x",state="done"} 2' \
+            in expo.render()
+
+    def test_invalid_metric_name_rejected(self):
+        expo = Exposition()
+        with pytest.raises(ValueError, match="sanitize_metric_name"):
+            expo.gauge("mc.sc0", 1)
+
+    def test_invalid_label_name_rejected(self):
+        expo = Exposition()
+        with pytest.raises(ValueError, match="invalid label name"):
+            expo.gauge("repro_g", 1, labels={"bad-name": "v"})
+
+    def test_kind_conflict_rejected(self):
+        expo = Exposition()
+        expo.gauge("repro_g", 1)
+        with pytest.raises(ValueError, match="already added as"):
+            expo.histogram("repro_g", bounds=(1,), counts=[0],
+                           overflow=0, count=0, total=0.0)
+
+    def test_histogram_buckets_cumulative(self):
+        expo = Exposition()
+        expo.histogram("repro_rlp", bounds=(1, 2, 4),
+                       counts=[5, 3, 0], overflow=2, count=10,
+                       total=17.5, help_text="RLP histogram.")
+        text = expo.render()
+        assert "# TYPE repro_rlp histogram" in text
+        assert 'repro_rlp_bucket{le="1"} 5' in text
+        assert 'repro_rlp_bucket{le="2"} 8' in text
+        assert 'repro_rlp_bucket{le="4"} 8' in text
+        assert 'repro_rlp_bucket{le="+Inf"} 10' in text
+        assert "repro_rlp_sum 17.5" in text
+        assert "repro_rlp_count 10" in text
+
+    def test_histogram_labels_compose_with_le(self):
+        expo = Exposition()
+        expo.histogram("repro_rlp", bounds=(1,), counts=[4], overflow=0,
+                       count=4, total=4.0, labels={"sc": "0"})
+        assert 'repro_rlp_bucket{le="1",sc="0"} 4' in expo.render()
+
+    def test_empty_document_renders_empty(self):
+        assert Exposition().render() == ""
+
+    def test_content_type_pins_the_format_version(self):
+        assert "version=0.0.4" in EXPOSITION_CONTENT_TYPE
+
+
+class TestCollectRegistry:
+    def test_all_instrument_kinds_collected(self):
+        registry = MetricsRegistry()
+        registry.counter("mc.acts").inc(4)
+        registry.gauge("proc.rss_bytes").set(1024)
+        histogram = registry.histogram("mc.rlp", (1, 2))
+        histogram.observe(1)
+        histogram.observe(5)
+        expo = Exposition()
+        collect_registry(expo, registry)
+        samples = parse_exposition(expo.render())
+        assert sample_value(samples, "repro_mc_acts_total") == 4
+        assert sample_value(samples, "repro_proc_rss_bytes") == 1024
+        assert sample_value(samples, "repro_mc_rlp_count") == 2
+        assert sample_value(samples, "repro_mc_rlp_bucket",
+                            le="+Inf") == 2
+
+    def test_deterministic_document(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(1)
+        registry.counter("a").inc(2)
+        first, second = Exposition(), Exposition()
+        collect_registry(first, registry)
+        collect_registry(second, registry)
+        assert first.render() == second.render()
+
+
+class TestParseExposition:
+    """The promtool-style validator: accepts our output, rejects
+    grammar violations with line-numbered messages."""
+
+    def test_accepts_rendered_document(self):
+        expo = Exposition()
+        expo.counter("repro_jobs", 1)
+        expo.gauge("repro_queue_depth", 0)
+        expo.histogram("repro_rlp", bounds=(1,), counts=[1], overflow=0,
+                       count=1, total=1.0)
+        samples = parse_exposition(expo.render())
+        assert sample_value(samples, "repro_jobs_total") == 1
+
+    def test_timestamp_suffix_allowed(self):
+        samples = parse_exposition("repro_g 1 1712345678\n")
+        assert samples[0].value == 1
+
+    def test_special_values_parse(self):
+        samples = parse_exposition("repro_g +Inf\nrepro_h NaN\n")
+        assert samples[0].value == math.inf
+        assert math.isnan(samples[1].value)
+
+    def test_rejects_bad_metric_name(self):
+        with pytest.raises(ExpositionFormatError, match="line 1"):
+            parse_exposition("bad.name 1\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ExpositionFormatError, match="line 1"):
+            parse_exposition("repro_g one\n")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ExpositionFormatError, match="unknown"):
+            parse_exposition("# TYPE repro_g sometype\n")
+
+    def test_rejects_duplicate_type(self):
+        with pytest.raises(ExpositionFormatError, match="duplicate"):
+            parse_exposition("# TYPE repro_g gauge\n"
+                             "# TYPE repro_g gauge\n")
+
+    def test_rejects_type_after_samples(self):
+        with pytest.raises(ExpositionFormatError, match="after its"):
+            parse_exposition("repro_g 1\n# TYPE repro_g gauge\n")
+
+    def test_histogram_series_count_toward_their_family(self):
+        # _bucket/_sum/_count belong to the histogram family, so a
+        # trailing TYPE for it is still "after its samples".
+        text = ("# TYPE repro_rlp histogram\n"
+                'repro_rlp_bucket{le="+Inf"} 1\n'
+                "repro_rlp_sum 1\nrepro_rlp_count 1\n")
+        samples = parse_exposition(text)
+        assert len(samples) == 3
+
+    def test_rejects_unterminated_label_value(self):
+        with pytest.raises(ExpositionFormatError, match="unterminated"):
+            parse_exposition('repro_g{k="v} 1\n')
+
+    def test_rejects_invalid_escape(self):
+        with pytest.raises(ExpositionFormatError, match="invalid escape"):
+            parse_exposition('repro_g{k="\\t"} 1\n')
+
+    def test_rejects_unquoted_label_value(self):
+        with pytest.raises(ExpositionFormatError, match="not.*quoted"):
+            parse_exposition("repro_g{k=v} 1\n")
+
+    def test_sample_value_matches_labels(self):
+        expo = Exposition()
+        expo.gauge("repro_jobs_state", 2, labels={"state": "done"})
+        expo.gauge("repro_jobs_state", 1, labels={"state": "failed"})
+        samples = parse_exposition(expo.render())
+        assert sample_value(samples, "repro_jobs_state",
+                            state="done") == 2
+        assert sample_value(samples, "repro_jobs_state",
+                            state="failed") == 1
+        assert sample_value(samples, "repro_jobs_state",
+                            state="queued") is None
