@@ -6,10 +6,10 @@ budget in ``BENCH_obs.json``, but nothing watched them — a 20%
 throughput regression would merge silently.  This module closes the
 loop:
 
-* :func:`collect_metrics` flattens both snapshot files into a flat
+* :func:`collect_metrics` flattens the snapshot files into a flat
   ``name -> {best, median}`` map (``engine.none``, ``engine.mint``,
-  ``obs.on`` …) using the best-of-7 and median-of-7 figures the
-  benchmarks already record;
+  ``obs.on``, ``service.speedup`` …) using the best-of and median-of
+  figures the benchmarks already record;
 * :func:`append_history` appends a timestamped entry to
   ``BENCH_history.jsonl`` (``repro bench record``), building the
   baseline the gate ratchets against;
@@ -41,6 +41,7 @@ DEFAULT_THRESHOLD_PCT = 20.0
 #: Snapshot files the observatory watches, relative to the results dir.
 ENGINE_SNAPSHOT = "BENCH_engine.json"
 OBS_SNAPSHOT = "BENCH_obs.json"
+SERVICE_SNAPSHOT = "BENCH_service.json"
 HISTORY_FILE = "BENCH_history.jsonl"
 
 
@@ -116,9 +117,9 @@ def _drop_pct(baseline: float, current: float) -> float:
     return 100.0 * (baseline - current) / baseline
 
 
-def _figures(config: dict) -> dict | None:
-    best = config.get("events_per_sec")
-    median = config.get("median_events_per_sec", best)
+def _figures(config: dict, key: str = "events_per_sec") -> dict | None:
+    best = config.get(key)
+    median = config.get(f"median_{key}", best)
     if not isinstance(best, (int, float)):
         return None
     if not isinstance(median, (int, float)):
@@ -131,9 +132,13 @@ def collect_metrics(results_dir: str) -> dict:
 
     ``BENCH_engine.json`` contributes its **current** configs (the
     frozen pre-optimization ``baseline`` section is historical context,
-    not a target); ``BENCH_obs.json`` contributes every config.  A
-    missing snapshot file contributes nothing — the gate watches
-    whatever is committed.
+    not a target); ``BENCH_obs.json`` contributes every config;
+    ``BENCH_service.json`` contributes per-arm scheduler throughput
+    (``service.serial``, ``service.concurrent`` in jobs/sec) plus the
+    derived ``service.speedup`` ratio (best/median speedup of the
+    concurrent arm over serial — the figure the concurrency PR's >= 3x
+    acceptance bar ratchets on).  A missing snapshot file contributes
+    nothing — the gate watches whatever is committed.
     """
     metrics: dict = {}
     engine = _load_json(os.path.join(results_dir, ENGINE_SNAPSHOT))
@@ -154,6 +159,18 @@ def collect_metrics(results_dir: str) -> dict:
                     if isinstance(config, dict) else None
                 if figures is not None:
                     metrics[f"obs.{name}"] = figures
+    service = _load_json(os.path.join(results_dir, SERVICE_SNAPSHOT))
+    if isinstance(service, dict):
+        configs = service.get("configs", {})
+        if isinstance(configs, dict):
+            for name, config in sorted(configs.items()):
+                figures = _figures(config, key="jobs_per_sec") \
+                    if isinstance(config, dict) else None
+                if figures is not None:
+                    metrics[f"service.{name}"] = figures
+        figures = _figures(service, key="speedup")
+        if figures is not None:
+            metrics["service.speedup"] = figures
     return metrics
 
 

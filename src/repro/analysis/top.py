@@ -137,7 +137,13 @@ class TopDashboard:
 
     def _rate(self, sample: InstanceSample, now: float) -> float | None:
         """cells/s from the delta against the previous poll (None on
-        the first poll of an instance)."""
+        the first poll of an instance).
+
+        Clamped at 0: a restarted service resets its counters, so the
+        first delta after a restart is negative — render that round as
+        an idle instance, not a bogus negative rate, and let the next
+        round re-baseline.
+        """
         previous = self._last.get(sample.url)
         self._last[sample.url] = (now, sample.cells_total)
         if previous is None:
@@ -145,7 +151,7 @@ class TopDashboard:
         elapsed = now - previous[0]
         if elapsed <= 0:
             return None
-        return (sample.cells_total - previous[1]) / elapsed
+        return max(0.0, (sample.cells_total - previous[1]) / elapsed)
 
     # ------------------------------------------------------------------
     # Rendering

@@ -571,8 +571,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs = os.cpu_count() or 1
     cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR", "")
     cache = RunCache(cache_dir) if cache_dir else None
+    concurrency = args.job_concurrency \
+        if args.job_concurrency is not None \
+        else int(os.environ.get("REPRO_JOB_CONCURRENCY", "1") or "1")
+    if concurrency < 1:
+        print("error: --job-concurrency must be >= 1", file=sys.stderr)
+        return 2
     executor = SweepExecutor(jobs=jobs, cache=cache)
-    scheduler = JobScheduler(executor, spans=not args.no_spans)
+    scheduler = JobScheduler(executor, spans=not args.no_spans,
+                             concurrency=concurrency)
     access_log = AccessLog(args.access_log) if args.access_log else None
     resources = ResourceSampler(scheduler.registry)
     service = SweepService(scheduler, host=args.host, port=args.port,
@@ -583,7 +590,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def serve() -> None:
         await service.start()
         print(f"[repro.service] listening on {service.url} "
-              f"({executor.describe()})", file=sys.stderr)
+              f"(job concurrency {concurrency}; "
+              f"{executor.describe()})", file=sys.stderr)
         if access_log is not None:
             print(f"[repro.service] access log: {access_log.path}",
                   file=sys.stderr)
@@ -668,14 +676,27 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     if not records:
         print("no jobs")
         return 0
+    # The service lists by submission time already; re-sort defensively
+    # (older services predate the ordering contract) with queued jobs'
+    # queue position as the tiebreak so the start order reads top-down.
+    records.sort(key=lambda record: (
+        record.get("submitted_unix", 0.0),
+        record.get("queue_position")
+        if record.get("queue_position") is not None else -1,
+        record.get("job", "")))
     for record in records:
         counters = record.get("counters", {})
         line = (f"{record['job']:6} {record['state']:8} "
                 f"{record['experiment']}")
+        if record["state"] == "queued" and \
+                record.get("queue_position") is not None:
+            line += f"  queue_position={record['queue_position']}"
         if record["state"] in ("done", "failed"):
             line += (f"  cells={counters.get('cells', 0)} "
                      f"computed={counters.get('computed', 0)} "
                      f"memo_hits={counters.get('memo_hits', 0)}")
+            if counters.get("dedup_hits"):
+                line += f" dedup_hits={counters['dedup_hits']}"
         if record.get("error"):
             line += f"  error: {record['error']}"
         print(line)
@@ -831,6 +852,13 @@ def build_parser() -> argparse.ArgumentParser:
                               help="worker processes for each sweep "
                                    "(0 = all cores; default serial, or "
                                    "REPRO_JOBS)")
+    serve_parser.add_argument("--job-concurrency", type=int,
+                              default=None, metavar="N",
+                              help="jobs executing at once over the "
+                                   "shared executor pool (default 1, or"
+                                   " REPRO_JOB_CONCURRENCY; identical "
+                                   "concurrent jobs coalesce via "
+                                   "in-flight dedup)")
     serve_parser.add_argument("--cache-dir", metavar="DIR",
                               help="content-addressed run cache shared "
                                    "by all jobs (default "

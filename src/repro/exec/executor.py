@@ -39,6 +39,25 @@ closure) cannot cross a process boundary or be fingerprinted; they are
 executed inline in the parent and never cached — correct, just without
 the speedups.
 
+The executor is **thread-safe**: any number of threads may call
+:meth:`SweepExecutor.run_cells` concurrently on one shared instance (the
+sweep service runs up to ``--job-concurrency`` jobs this way).  Shared
+state — memo, stats, the worker pool, the in-flight table — sits behind
+one lock; per-run knobs (cell policy, backend, progress sink) and
+attributed per-run stats bind through :meth:`SweepExecutor.scoped`,
+which is thread-local, so concurrent runs never see each other's
+configuration.  Concurrent runs share the pool fairly: with more than
+one sweep active, each throttles its pooled submissions to roughly
+``jobs / active_runs`` outstanding cells instead of flooding the queue.
+
+Concurrent lookups of the *same* fingerprint deduplicate in flight
+(singleflight): the first run to scan a missing fingerprint claims it,
+later runs attach to the claim and wait for the one computation instead
+of redoing it.  The scan is atomic per sweep, so two identical sweeps
+racing each other partition cleanly — one computes everything, the other
+attaches to everything and finishes with ``computed=0`` and a memo hit
+(plus a ``dedup_hits`` mark) per cell: raced, not ordered, same totals.
+
 Telemetry (:mod:`repro.obs`) composes with every layer above.  When
 ambient telemetry is active the executor ships a picklable
 :class:`~repro.obs.snapshot.CaptureSpec` with each cell; the cell
@@ -60,7 +79,8 @@ import time
 from concurrent.futures import (BrokenExecutor, Future,
                                 ProcessPoolExecutor)
 from concurrent.futures import TimeoutError as FuturesTimeout
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.exec import faults
@@ -264,6 +284,12 @@ class ExecutorStats:
     inline: int = 0
     batched: int = 0
     memo_hits: int = 0
+    #: memo hits that were *raced*: the fingerprint was in flight on
+    #: another run when this run scanned it, so this run attached to the
+    #: one computation instead of redoing it.  Every dedup hit is also
+    #: counted as a memo hit — dedup refines the hit, it does not
+    #: replace it.
+    dedup_hits: int = 0
     resumed: int = 0
     retries: int = 0
     timeouts: int = 0
@@ -286,6 +312,8 @@ class ExecutorStats:
                 f"retries={self.retries} timeouts={self.timeouts}")
         if self.batched:
             line += f" batched={self.batched}"
+        if self.dedup_hits:
+            line += f" dedup_hits={self.dedup_hits}"
         if self.resumed:
             line += f" resumed={self.resumed}"
         if self.failed:
@@ -295,6 +323,41 @@ class ExecutorStats:
         line += (f" wall={self.wall_seconds:.1f}s "
                  f"engine={self.events_per_sec:,.0f} events/s")
         return line
+
+
+class _Flight:
+    """One in-flight fingerprint computation other runs can attach to.
+
+    ``outcome`` is published before ``done`` is set: a
+    :class:`FailedCell` for a terminal failure, else ``None`` — waiters
+    distinguish success from abandonment by whether the memo holds the
+    result when they re-check, and re-claim the fingerprint themselves
+    if it does not.
+    """
+
+    __slots__ = ("done", "outcome")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.outcome: FailedCell | None = None
+
+
+@dataclass
+class ScopedRun:
+    """One thread's private view of a shared :class:`SweepExecutor`.
+
+    Produced by :meth:`SweepExecutor.scoped`: while the binding is
+    active on a thread, that thread's ``run_cells`` calls use these
+    knobs (``None`` falls back to the executor default) and every stat
+    the run generates is *additionally* accumulated into ``stats`` —
+    attributed deltas, with no snapshot arithmetic against the global
+    counters that concurrent runs are mutating at the same time.
+    """
+
+    policy: CellPolicy | None = None
+    backend: str | None = None
+    progress: SweepProgress | None = None
+    stats: ExecutorStats = field(default_factory=ExecutorStats)
 
 
 class SweepExecutor:
@@ -349,10 +412,10 @@ class SweepExecutor:
                              f"got {backend!r}")
         self.jobs = jobs
         self.cache = cache
-        self.policy = policy if policy is not None else CellPolicy()
+        self._policy = policy if policy is not None else CellPolicy()
         self.checkpoint = checkpoint
-        self.progress = progress
-        self.backend = backend
+        self._progress_sink = progress
+        self._backend = backend
         self.stats = ExecutorStats()
         self.failures: list[FailedCell] = []
         #: fingerprint -> (result, snapshot-or-None); snapshots are kept
@@ -362,15 +425,101 @@ class SweepExecutor:
         self._pool: ProcessPoolExecutor | None = None
         self._pool_breaks = 0
         self._pool_disabled = False
+        #: One reentrant lock guards all cross-thread state: memo,
+        #: global stats, failures, the pool handle and the in-flight
+        #: table.  Held across each sweep's whole scan phase so
+        #: claim-or-attach is atomic per sweep.
+        self._lock = threading.RLock()
+        #: fingerprint -> _Flight for cells being computed right now.
+        self._inflight: dict[str, _Flight] = {}
+        self._active_runs = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Per-thread scoped bindings
+    # ------------------------------------------------------------------
+    def _binding(self) -> ScopedRun | None:
+        return getattr(self._local, "binding", None)
+
+    @contextmanager
+    def scoped(self, policy: CellPolicy | None = None,
+               backend: str | None = None,
+               progress: SweepProgress | None = None):
+        """Bind per-thread knobs and attributed stats for a ``with``
+        block.
+
+        Yields a :class:`ScopedRun` whose ``stats`` accumulate exactly
+        the work this thread's ``run_cells`` calls generate — the way
+        the sweep service attributes counters to one job while other
+        jobs share the same executor.  ``None`` knobs fall back to the
+        executor's defaults.  Bindings nest (the previous one is
+        restored on exit) and never leak across threads.
+        """
+        if backend is not None and backend not in ("scalar", "batched",
+                                                   "auto"):
+            raise ValueError("backend must be one of "
+                             "('scalar', 'batched', 'auto'), "
+                             f"got {backend!r}")
+        binding = ScopedRun(policy=policy, backend=backend,
+                            progress=progress)
+        previous = self._binding()
+        self._local.binding = binding
+        try:
+            yield binding
+        finally:
+            self._local.binding = previous
+
+    @property
+    def policy(self) -> CellPolicy:
+        binding = self._binding()
+        if binding is not None and binding.policy is not None:
+            return binding.policy
+        return self._policy
+
+    @policy.setter
+    def policy(self, value: CellPolicy) -> None:
+        self._policy = value
+
+    @property
+    def backend(self) -> str:
+        binding = self._binding()
+        if binding is not None and binding.backend is not None:
+            return binding.backend
+        return self._backend
+
+    @backend.setter
+    def backend(self, value: str) -> None:
+        self._backend = value
+
+    @property
+    def progress(self) -> SweepProgress | None:
+        binding = self._binding()
+        if binding is not None and binding.progress is not None:
+            return binding.progress
+        return self._progress_sink
+
+    @progress.setter
+    def progress(self, value: SweepProgress | None) -> None:
+        self._progress_sink = value
+
+    def _stat(self, name: str, amount=1) -> None:
+        """Bump one stat globally and on the thread's binding, if any."""
+        with self._lock:
+            setattr(self.stats, name, getattr(self.stats, name) + amount)
+        binding = self._binding()
+        if binding is not None:
+            setattr(binding.stats, name,
+                    getattr(binding.stats, name) + amount)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Shut the worker pool and checkpoint down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
         if self.checkpoint is not None:
             self.checkpoint.close()
 
@@ -381,13 +530,15 @@ class SweepExecutor:
         self.close()
 
     def _pool_handle(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs,
-                                             initializer=_worker_init)
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs, initializer=_worker_init)
+            return self._pool
 
     def _pool_usable(self) -> bool:
-        return self.jobs > 1 and not self._pool_disabled
+        with self._lock:
+            return self.jobs > 1 and not self._pool_disabled
 
     def _note_pool_failure(self, pool: ProcessPoolExecutor | None) -> None:
         """Record one pool breakage; degrade to serial past the limit.
@@ -396,24 +547,26 @@ class SweepExecutor:
         pool that was already replaced is ignored, so one breakage never
         counts once per in-flight future.
         """
-        if pool is None or pool is not self._pool:
-            return
-        self._pool_breaks += 1
-        try:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:
-            pass
-        self._pool = None
-        if self._pool_breaks >= self.POOL_FAILURE_LIMIT and \
-                not self._pool_disabled:
+        with self._lock:
+            if pool is None or pool is not self._pool:
+                return
+            self._pool_breaks += 1
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._pool = None
+            if self._pool_breaks < self.POOL_FAILURE_LIMIT or \
+                    self._pool_disabled:
+                return
             self._pool_disabled = True
-            self.stats.fallbacks += 1
-            self._obs_inc("exec.fallbacks")
-            self._span_event("pool_fallback",
-                             {"breaks": self._pool_breaks})
-            print(f"[repro.exec] worker pool failed "
-                  f"{self._pool_breaks} times; falling back to "
-                  f"in-process serial execution", file=sys.stderr)
+            breaks = self._pool_breaks
+        self._stat("fallbacks")
+        self._obs_inc("exec.fallbacks")
+        self._span_event("pool_fallback", {"breaks": breaks})
+        print(f"[repro.exec] worker pool failed {breaks} times; "
+              f"falling back to in-process serial execution",
+              file=sys.stderr)
 
     # ------------------------------------------------------------------
     # Execution
@@ -438,7 +591,7 @@ class SweepExecutor:
         cell list); by default a non-scalar executor plans here.
         """
         started = time.perf_counter()
-        self.stats.cells += len(cells)
+        self._stat("cells", len(cells))
         failures: list[FailedCell] = []
         telemetry = obs_runtime.active()
         capture = CaptureSpec.from_telemetry(telemetry) \
@@ -448,6 +601,8 @@ class SweepExecutor:
             "sweep", kind=KIND_SWEEP, meta={"cells": len(cells)})
         if self.progress is not None:
             self.progress.add_cells(len(cells))
+        with self._lock:
+            self._active_runs += 1
         try:
             try:
                 results, snaps = self._run(cells, failures, capture,
@@ -458,11 +613,14 @@ class SweepExecutor:
             if telemetry is not None:
                 self._merge_all(telemetry, tracer, cells, snaps)
         finally:
+            with self._lock:
+                self._active_runs -= 1
             if sweep_span is not None:
                 tracer.end(sweep_span)
-        self.stats.wall_seconds += time.perf_counter() - started
+        self._stat("wall_seconds", time.perf_counter() - started)
         if failures:
-            self.failures.extend(failures)
+            with self._lock:
+                self.failures.extend(failures)
             raise SweepFailure(failures)
         return results
 
@@ -505,30 +663,82 @@ class SweepExecutor:
             plan = plan_backends(cells, self.backend)
         backends = None if plan is None else plan.backends
         fps: list[str | None] = [None] * len(cells)
-        #: fingerprint -> indices still needing a computed result.
+        #: fingerprint -> indices this run will compute itself (owned).
         pending: dict[str, list[int]] = {}
+        #: fingerprint -> indices attached to another run's computation.
+        attached: dict[str, list[int]] = {}
+        #: owned fingerprint -> its claim in the shared in-flight table.
+        flights: dict[str, _Flight] = {}
         inline: list[int] = []
-        for index, cell in enumerate(cells):
-            fp = cell_fingerprint(
-                cell, "scalar" if backends is None else backends[index])
-            fps[index] = fp
-            if fp is None:
-                inline.append(index)
-                continue
-            known = self._lookup(fp, capture)
-            if known is not None:
-                self._mark_done(fp)
-                results[index], snaps[index] = known
-            else:
-                pending.setdefault(fp, []).append(index)
+        # The scan holds the lock end to end so claim-or-attach is
+        # atomic per sweep: two identical concurrent sweeps partition
+        # cleanly — whichever scans first owns every cell, the other
+        # attaches to every cell — never an interleaved split.
+        with self._lock:
+            for index, cell in enumerate(cells):
+                fp = cell_fingerprint(
+                    cell,
+                    "scalar" if backends is None else backends[index])
+                fps[index] = fp
+                if fp is None:
+                    inline.append(index)
+                    continue
+                if fp in pending:
+                    pending[fp].append(index)
+                    continue
+                if fp in attached:
+                    attached[fp].append(index)
+                    continue
+                known = self._lookup(fp, capture)
+                if known is not None:
+                    self._mark_done(fp)
+                    results[index], snaps[index] = known
+                    continue
+                flight = self._inflight.get(fp)
+                if flight is not None:
+                    attached[fp] = [index]
+                    continue
+                flights[fp] = self._inflight[fp] = _Flight()
+                pending[fp] = [index]
 
+        try:
+            self._run_owned(cells, fps, pending, flights, inline,
+                            results, snaps, failures, capture, plan)
+            for fp, indices in attached.items():
+                outcome = self._await_flight(fp, cells[indices[0]],
+                                             capture)
+                if isinstance(outcome, FailedCell):
+                    failures.append(outcome)
+                    continue
+                result, snap = outcome
+                self._mark_done(fp)
+                for index in indices:
+                    results[index] = result
+                    snaps[index] = snap
+        finally:
+            # Abandon mop-up: if anything above raised, release every
+            # claim this run still holds so attached runs re-claim and
+            # compute instead of waiting forever.
+            for fp, flight in flights.items():
+                self._finish_flight(fp, flight)
+        return results, snaps
+
+    def _run_owned(self, cells: list[Cell], fps: list[str | None],
+                   pending: dict[str, list[int]],
+                   flights: dict[str, "_Flight"], inline: list[int],
+                   results: list, snaps: list,
+                   failures: list[FailedCell],
+                   capture: CaptureSpec | None, plan) -> None:
+        """Compute every fingerprint this run owns (claimed at scan)."""
         chunks = self._batch_chunks(plan, fps, pending, cells)
         in_batches = {fp for _, chunk_fps in chunks for fp in chunk_fps}
-        singles = {fp: indices for fp, indices in pending.items()
-                   if fp not in in_batches}
+        singles = [(fp, indices) for fp, indices in pending.items()
+                   if fp not in in_batches]
 
+        with self._lock:
+            shared = self._active_runs > 1
         use_pool = self._pool_usable() and \
-            (len(singles) + len(chunks)) > 1
+            (shared or (len(singles) + len(chunks)) > 1)
         batch_futures: list[tuple[list[Cell], list[str],
                                   Future | None,
                                   ProcessPoolExecutor | None]] = []
@@ -544,13 +754,33 @@ class SweepExecutor:
                     future = pool = None
             batch_futures.append((chunk_cells, chunk_fps, future, pool))
 
+        # Fair-share sliding window: a lone run submits every single
+        # eagerly (the historical behaviour); with other runs active,
+        # each keeps only about jobs/active_runs cells outstanding so
+        # one big sweep cannot flood the shared pool and starve its
+        # neighbours.  The window re-fills as cells resolve, and adapts
+        # as runs start and finish.
         futures: dict[str, tuple[Future, ProcessPoolExecutor]] = {}
-        if use_pool:
-            for fp, indices in singles.items():
-                submitted = self._submit(cells[indices[0]], fp, 0, capture)
+        cursor = 0
+
+        def fill_window() -> None:
+            nonlocal cursor
+            while cursor < len(singles):
+                with self._lock:
+                    active = max(1, self._active_runs)
+                if active > 1 and \
+                        len(futures) >= -(-self.jobs // active) + 1:
+                    return
+                fp, indices = singles[cursor]
+                submitted = self._submit(cells[indices[0]], fp, 0,
+                                         capture)
                 if submitted is None:
-                    break  # pool just died; remaining cells run inline
+                    return  # pool unusable; resolve loop runs inline
                 futures[fp] = submitted
+                cursor += 1
+
+        if use_pool:
+            fill_window()
 
         # Spec-less cells run while the pool churns in the background.
         for index in inline:
@@ -560,17 +790,21 @@ class SweepExecutor:
             results[index] = result
             snaps[index] = snap
 
-        for fp, indices in singles.items():
+        for fp, indices in singles:
             future, pool = futures.pop(fp, (None, None))
             outcome = self._resolve_cell(fp, cells[indices[0]], future,
                                          pool, capture)
+            if use_pool:
+                fill_window()
             if isinstance(outcome, FailedCell):
                 failures.append(outcome)
+                self._finish_flight(fp, flights[fp], failed=outcome)
                 continue
             result, seconds, snap = outcome
             self._account_computed(result, seconds)
             self._store(fp, cells[indices[0]], result, snap)
             self._mark_done(fp)
+            self._finish_flight(fp, flights[fp])
             for index in indices:
                 results[index] = result
                 snaps[index] = snap
@@ -599,15 +833,85 @@ class SweepExecutor:
                     chunk_cells[member], fp, outcomes[member], capture)
                 if isinstance(outcome, FailedCell):
                     failures.append(outcome)
+                    self._finish_flight(fp, flights[fp], failed=outcome)
                     continue
                 result, seconds, snap = outcome
                 self._account_computed(result, seconds)
                 self._store(fp, chunk_cells[member], result, snap)
                 self._mark_done(fp)
+                self._finish_flight(fp, flights[fp])
                 for index in pending[fp]:
                     results[index] = result
                     snaps[index] = snap
-        return results, snaps
+
+    # ------------------------------------------------------------------
+    # In-flight deduplication (singleflight)
+    # ------------------------------------------------------------------
+    def _finish_flight(self, fp: str, flight: "_Flight",
+                       failed: FailedCell | None = None) -> None:
+        """Retire ``fp``'s claim and wake attached waiters (idempotent).
+
+        The identity check keeps a late mop-up from evicting a *new*
+        claim another run installed after this one abandoned the
+        fingerprint.
+        """
+        with self._lock:
+            if self._inflight.get(fp) is flight:
+                del self._inflight[fp]
+        if not flight.done.is_set():
+            flight.outcome = failed
+            flight.done.set()
+
+    def _await_flight(self, fp: str, cell: Cell,
+                      capture: CaptureSpec | None):
+        """Take ``fp`` from the run that owns it (or inherit the claim).
+
+        Returns ``(result, snapshot)`` — counted as a memo hit plus a
+        dedup hit, since the fingerprint was raced rather than replayed
+        from an earlier run — or the owner's :class:`FailedCell`.  If
+        the owner abandoned the claim without publishing a result, this
+        run re-claims and computes the cell itself.
+        """
+        while True:
+            with self._lock:
+                known = self._lookup(fp, capture)
+                if known is not None:
+                    self._stat("dedup_hits")
+                    self._obs_inc("exec.dedup_hits")
+                    self._span_event("dedup_hit",
+                                     {"fingerprint": fp[:12]})
+                    return known
+                flight = self._inflight.get(fp)
+                if flight is None:
+                    flight = self._inflight[fp] = _Flight()
+                    claimed = True
+                else:
+                    claimed = False
+            if claimed:
+                break
+            flight.done.wait()
+            if flight.outcome is not None:
+                self._stat("failed")
+                self._obs_inc("exec.failed")
+                self._progress("failed")
+                return flight.outcome
+            # outcome None: success (memo will hit on re-check) or an
+            # abandoned claim (re-check finds nothing and re-claims).
+        outcome = self._resolve_cell(fp, cell, None, None, capture)
+        if isinstance(outcome, FailedCell):
+            self._finish_flight(fp, flight, failed=outcome)
+            return outcome
+        result, seconds, snap = outcome
+        self._account_computed(result, seconds)
+        self._store(fp, cell, result, snap)
+        self._finish_flight(fp, flight)
+        return result, snap
+
+    def inflight_cells(self) -> int:
+        """Unique fingerprints currently being computed, across all
+        concurrent runs (the ``repro_scheduler_inflight_cells`` gauge)."""
+        with self._lock:
+            return len(self._inflight)
 
     def _batch_chunks(self, plan, fps: list[str | None],
                       pending: dict[str, list[int]],
@@ -663,9 +967,9 @@ class SweepExecutor:
             if problem is None and capture is not None:
                 problem = validate_snapshot(snap)
             if problem is None:
-                self.stats.batched += 1
+                self._stat("batched")
                 return result, seconds, snap
-        self.stats.retries += 1
+        self._stat("retries")
         self._obs_inc("exec.retries")
         self._progress("retried")
         self._span_event("batch_retry", {"policy": cell.policy_name})
@@ -708,7 +1012,7 @@ class SweepExecutor:
                 error = str(exc) or (
                     f"attempt exceeded {self.policy.timeout_s:g}s"
                     if self.policy.timeout_s else "attempt timed out")
-                self.stats.timeouts += 1
+                self._stat("timeouts")
                 self._obs_inc("exec.timeouts")
                 self._span_event("timeout",
                                  {"policy": cell.policy_name,
@@ -723,7 +1027,7 @@ class SweepExecutor:
 
             attempt += 1
             if attempt >= self.policy.attempts:
-                self.stats.failed += 1
+                self._stat("failed")
                 self._obs_inc("exec.failed")
                 self._progress("failed")
                 self._span_event("cell_failed",
@@ -734,7 +1038,7 @@ class SweepExecutor:
                     workload=cell.workload.name,
                     policy_name=cell.policy_name,
                     attempts=attempt, kind=kind, error=error)
-            self.stats.retries += 1
+            self._stat("retries")
             self._obs_inc("exec.retries")
             self._progress("retried")
             self._span_event("retry", {"policy": cell.policy_name,
@@ -816,7 +1120,7 @@ class SweepExecutor:
     # ------------------------------------------------------------------
     def _lookup(self, fp: str, capture: CaptureSpec | None = None) \
             -> tuple[RunResult, TelemetrySnapshot | None] | None:
-        """Serve ``fp`` from memo or cache.
+        """Serve ``fp`` from memo or cache (call with ``_lock`` held).
 
         Under telemetry capture a known result only counts when its
         snapshot is also available (memoised or as the cache's telemetry
@@ -828,7 +1132,7 @@ class SweepExecutor:
         if entry is not None:
             result, snap = entry
             if capture is None or snap is not None:
-                self.stats.memo_hits += 1
+                self._stat("memo_hits")
                 self._progress("hit")
                 self._span_event("memo_hit", {"fingerprint": fp[:12]})
                 return result, (snap if capture is not None else None)
@@ -843,7 +1147,7 @@ class SweepExecutor:
                 resumed = self.checkpoint is not None and \
                     self.checkpoint.was_done(fp)
                 if resumed:
-                    self.stats.resumed += 1
+                    self._stat("resumed")
                 self._progress("resumed" if resumed else "hit")
                 self._span_event("resumed" if resumed else "cache_hit",
                                  {"fingerprint": fp[:12]})
@@ -853,19 +1157,20 @@ class SweepExecutor:
 
     def _store(self, fp: str, cell: Cell, result: RunResult,
                snap: TelemetrySnapshot | None = None) -> None:
-        self._memo[fp] = (result, snap)
-        if self.cache is not None:
-            self.cache.put(fp, result, key=canonical(cell.key()))
-            if snap is not None:
-                self.cache.put_telemetry(fp, snap)
+        with self._lock:
+            self._memo[fp] = (result, snap)
+            if self.cache is not None:
+                self.cache.put(fp, result, key=canonical(cell.key()))
+                if snap is not None:
+                    self.cache.put_telemetry(fp, snap)
 
     def _account_computed(self, result: RunResult, seconds: float,
                           inline: bool = False) -> None:
-        self.stats.computed += 1
+        self._stat("computed")
         if inline:
-            self.stats.inline += 1
-        self.stats.engine_events += result.requests_completed
-        self.stats.engine_seconds += seconds
+            self._stat("inline")
+        self._stat("engine_events", result.requests_completed)
+        self._stat("engine_seconds", seconds)
         self._progress("computed", seconds)
 
     # ------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Ambient sweep executor: a process-wide active :class:`SweepExecutor`.
+"""Ambient sweep executor: a per-thread active :class:`SweepExecutor`.
 
 Experiment runners are invoked through a registry with a fixed
 ``run(quick=..., seed=...)`` signature, so an executor cannot be threaded
@@ -9,38 +9,51 @@ through every call chain (the same constraint that shaped
 what lets one executor's memo and cache span every experiment of an
 invocation.
 
-With nothing activated, ``sweep_designs`` falls back to a private
-serial executor per sweep, which preserves the historical
-baseline-sharing behaviour exactly.
+Activation is **thread-local**: every activate/read pair in the codebase
+happens on one thread (the CLI main thread, a service job worker, a test
+body), and the sweep service runs up to ``--job-concurrency`` jobs on
+concurrent worker threads, each under its own ambient binding.  A
+process-wide slot would let one job's executor (or, worse, one job's
+telemetry) leak into a neighbour mid-run; thread-local scoping makes the
+concurrent case exactly as isolated as the serial one.  Note that the
+*executor object* is still typically shared across threads — the sweep
+service activates the same :class:`~repro.exec.SweepExecutor` on every
+worker, which is what makes its memo/cache/in-flight dedup span jobs.
+
+With nothing activated on the current thread, ``sweep_designs`` falls
+back to a private serial executor per sweep, which preserves the
+historical baseline-sharing behaviour exactly.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 
-_active = None
+_local = threading.local()
 
 
 def activate(executor) -> None:
-    """Make ``executor`` the ambient instance (``None`` to clear)."""
-    global _active
-    _active = executor
+    """Make ``executor`` the ambient instance on this thread (``None``
+    to clear)."""
+    _local.active = executor
 
 
 def active():
-    """The ambient executor, or ``None``."""
-    return _active
+    """This thread's ambient executor, or ``None``."""
+    return getattr(_local, "active", None)
 
 
 def deactivate() -> None:
-    """Clear the ambient executor."""
+    """Clear this thread's ambient executor."""
     activate(None)
 
 
 @contextmanager
 def activated(executor):
-    """Scope ``executor`` as ambient for a ``with`` block."""
-    previous = _active
+    """Scope ``executor`` as this thread's ambient for a ``with``
+    block."""
+    previous = active()
     activate(executor)
     try:
         yield executor

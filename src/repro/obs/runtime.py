@@ -1,4 +1,4 @@
-"""Ambient telemetry: a process-wide active :class:`~repro.obs.Telemetry`.
+"""Ambient telemetry: a per-thread active :class:`~repro.obs.Telemetry`.
 
 Experiment runners are invoked through a registry with a fixed
 ``run(quick=..., seed=...)`` signature, so telemetry cannot be threaded
@@ -7,6 +7,16 @@ CLI (or a test/benchmark harness) *activates* a telemetry object here and
 :func:`~repro.sim.runner.run_simulation` picks it up when no explicit one
 is passed.
 
+Activation is **thread-local**: every instrumented site reads the
+ambient slot on the same thread that activated it (the CLI main thread,
+a service job worker, a test body), and the sweep service runs
+concurrent jobs each under a private per-job :class:`Telemetry` — a
+process-wide slot would bleed one job's metrics and spans into a
+neighbour running at the same time.  Pool workers never inherit an
+ambient telemetry either way (:func:`~repro.exec.executor._worker_init`
+deactivates on bootstrap); cells record through explicit
+:class:`~repro.obs.snapshot.CaptureSpec` objects instead.
+
 The default is ``None`` — with nothing activated, every instrumented
 site reduces to a single ``is None`` check, which keeps the disabled-path
 overhead unmeasurable.
@@ -14,24 +24,25 @@ overhead unmeasurable.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 
-_active = None
+_local = threading.local()
 
 
 def activate(telemetry) -> None:
-    """Make ``telemetry`` the ambient instance (``None`` to clear)."""
-    global _active
-    _active = telemetry
+    """Make ``telemetry`` the ambient instance on this thread (``None``
+    to clear)."""
+    _local.active = telemetry
 
 
 def active():
-    """The ambient telemetry instance, or ``None``."""
-    return _active
+    """This thread's ambient telemetry instance, or ``None``."""
+    return getattr(_local, "active", None)
 
 
 def deactivate() -> None:
-    """Clear the ambient telemetry."""
+    """Clear this thread's ambient telemetry."""
     activate(None)
 
 
@@ -41,14 +52,15 @@ def active_spans():
     Collapses the two-level guard (telemetry active? spans enabled?)
     into one call for instrumentation sites that only emit spans.
     """
-    telemetry = _active
+    telemetry = active()
     return None if telemetry is None else telemetry.spans
 
 
 @contextmanager
 def activated(telemetry):
-    """Scope ``telemetry`` as ambient for a ``with`` block."""
-    previous = _active
+    """Scope ``telemetry`` as this thread's ambient for a ``with``
+    block."""
+    previous = active()
     activate(telemetry)
     try:
         yield telemetry

@@ -153,6 +153,37 @@ class SweepClient:
             self.sleep(poll_s)
             waited += poll_s
 
+    def wait_many(self, job_ids: list[str],
+                  poll_s: float = DEFAULT_POLL_S,
+                  timeout_s: float | None = None) -> dict[str, dict]:
+        """Poll until *every* job is terminal; returns id → terminal
+        record.
+
+        The concurrent-submission companion to :meth:`wait`: one shared
+        poll loop (and one shared ``timeout_s`` budget) instead of
+        serial per-job waits, so the wall time tracks the *slowest* job
+        rather than the sum — which is the whole point of
+        ``serve --job-concurrency``.
+        """
+        records: dict[str, dict] = {}
+        waited = 0.0
+        while True:
+            for job_id in job_ids:
+                if job_id in records:
+                    continue
+                record = self.job(job_id)
+                if record["state"] in ("done", "failed"):
+                    records[job_id] = record
+            if len(records) == len(set(job_ids)):
+                return {job_id: records[job_id] for job_id in job_ids}
+            if timeout_s is not None and waited >= timeout_s:
+                laggards = sorted(set(job_ids) - set(records))
+                raise ServiceError(
+                    f"jobs {', '.join(laggards)} still not terminal "
+                    f"after {timeout_s:g}s")
+            self.sleep(poll_s)
+            waited += poll_s
+
     def stream(self, job_id: str):
         """Yield the job's events in order, live, until the terminal
         ``state`` event (inclusive).

@@ -8,28 +8,46 @@ lifecycle::
                       -> failed
 
 The scheduler owns exactly one :class:`~repro.exec.SweepExecutor` and
-one worker thread.  Jobs execute strictly one at a time, in submission
-order, with the executor's lifetime memo (and optional
-:class:`~repro.exec.cache.RunCache`) shared across *all* jobs — which is
-the service's cache-coalescing guarantee: two identical submissions
-perform the sweep's cell work once, and the second job's cells are all
-memo/cache hits.  Because every cell is deterministic and results merge
-in fixed cell order, a job's result JSON is byte-identical to a local
-``run_experiment`` call with the same options, cold or warm.
+``concurrency`` worker threads (default 1, ``repro serve
+--job-concurrency N``).  Workers claim queued jobs in submission order;
+with ``concurrency > 1`` up to N jobs run at once, their cells sharing
+the executor's single process pool.  The executor splits that pool
+fairly across the active jobs (each keeps roughly ``jobs/active``
+cells outstanding — a deficit-style window rather than first-flooder
+wins) and its lifetime memo (plus optional
+:class:`~repro.exec.cache.RunCache`) is shared across *all* jobs.
+
+That shared reuse layer is the service's cache-coalescing guarantee,
+and it survives concurrency via the executor's in-flight deduplication:
+two identical submissions perform the sweep's cell work once *even when
+they race* — whichever job's scan loses the claim attaches to the
+winner's in-flight cells and finishes with ``computed=0`` and
+``memo_hits == cells`` (each hit also marked in ``dedup_hits``).  Raced,
+not ordered.  Because every cell is deterministic and results merge in
+fixed cell order, a job's result JSON is byte-identical to a local
+``run_experiment`` call with the same options — cold, warm, serial or
+concurrent.
 
 Per-job knobs ride the :class:`~repro.experiments.common.RunOptions`
 wire record: ``retries``/``timeout_s`` become the executor's
 :class:`~repro.exec.resilience.CellPolicy` for that job, ``backend``
 selects the engine backend (batched groups reuse the planner from
-``experiments.common``).  ``resume`` is rejected at submission — the
-service has no per-job checkpoint journal; its memo and cache already
-provide the equivalent warm restart.
+``experiments.common``).  The knobs bind through
+:meth:`~repro.exec.SweepExecutor.scoped` — thread-local, so concurrent
+jobs never see each other's policy — and the same scope yields the
+job's **attributed counters**: exactly the cells/computed/memo work
+this job generated, with no snapshot arithmetic against global totals
+that neighbouring jobs are mutating.  ``resume`` is rejected at
+submission — the service has no per-job checkpoint journal; its memo
+and cache already provide the equivalent warm restart.
 
 Every cell-level event the executor reports (submitted / computed /
 memo or cache hit / resumed / retried / failed) is appended to the
 job's ordered event log with a monotonically increasing ``seq``, which
 is what the server's NDJSON stream — and the client's
-reconnect-with-cursor — ride on.
+reconnect-with-cursor — ride on.  Event logs are strictly per-job even
+under concurrency: the progress sink is part of the job's scoped
+binding, so a neighbour's cells can never bleed into this job's stream.
 
 **Observability plane.**  Unless constructed with ``spans=False``, each
 job runs under its own ambient :class:`~repro.obs.Telemetry` with span
@@ -37,21 +55,23 @@ tracing on: the finished job keeps its merged span document (served at
 ``GET /v1/jobs/<id>/spans`` for ``repro spans --url``), and the job's
 deterministic simulated-time metrics fold into the scheduler-lifetime
 :attr:`JobScheduler.registry`, which the server's ``/v1/metrics``
-exposition renders.  Telemetry never perturbs results — job result JSON
-stays byte-identical with the plane on or off (pinned by
-``tests/test_service_obs.py``).
+exposition renders.  Ambient telemetry is thread-local
+(:mod:`repro.obs.runtime`), so concurrent jobs' planes stay disjoint.
+Telemetry never perturbs results — job result JSON stays byte-identical
+with the plane on or off (pinned by ``tests/test_service_obs.py``).
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.exec import runtime as exec_runtime
-from repro.exec.executor import ExecutorStats, SweepExecutor
+from repro.exec.executor import SweepExecutor
 from repro.exec.resilience import CellPolicy, SweepFailure
 from repro.experiments import registry
 from repro.experiments.common import RunOptions
@@ -67,8 +87,9 @@ TERMINAL_STATES = ("done", "failed")
 
 #: Executor counters mirrored into each job record (the same counters
 #: the executor mirrors into the obs metrics registry as ``exec.*``).
-COUNTER_FIELDS = ("cells", "computed", "memo_hits", "resumed", "retries",
-                  "timeouts", "failed", "batched", "inline")
+COUNTER_FIELDS = ("cells", "computed", "memo_hits", "dedup_hits",
+                  "resumed", "retries", "timeouts", "failed", "batched",
+                  "inline")
 
 
 class UnknownJob(KeyError):
@@ -93,18 +114,27 @@ class Job:
     experiment: str
     options: RunOptions
     state: str = "queued"
+    submitted_unix: float = 0.0
     error: str | None = None
     result_json: str | None = None
     spans_json: str | None = None
     counters: dict = field(default_factory=dict)
     events: list[dict] = field(default_factory=list)
 
-    def record(self) -> dict:
-        """The job's public record (the ``GET /v1/jobs/<id>`` body)."""
+    def record(self, queue_position: int | None = None) -> dict:
+        """The job's public record (the ``GET /v1/jobs/<id>`` body).
+
+        ``queue_position`` is the job's 0-based place in the start
+        queue, supplied by the scheduler for queued jobs and ``None``
+        once the job has started — under concurrency it is the only way
+        to read "how far back am I" off a listing.
+        """
         return {
             "job": self.id,
             "experiment": self.experiment,
             "state": self.state,
+            "submitted_unix": round(self.submitted_unix, 6),
+            "queue_position": queue_position,
             "options": self.options.to_dict(),
             "counters": dict(self.counters),
             "events": len(self.events),
@@ -133,28 +163,38 @@ class _JobProgress:
 
 
 class JobScheduler:
-    """Single-worker job queue over one shared :class:`SweepExecutor`.
+    """Concurrent job queue over one shared :class:`SweepExecutor`.
 
     Parameters
     ----------
     executor:
         The executor every job runs through.  Its memo (and cache, if
-        configured) is the coalescing layer shared across jobs; its
-        ``policy`` and ``backend`` are rebound per job from that job's
-        options.  Defaults to a serial cacheless executor.
+        configured) is the coalescing layer shared across jobs; each
+        job binds its own ``policy``/``backend``/progress sink through
+        the executor's thread-local :meth:`~SweepExecutor.scoped`
+        scope.  Defaults to a serial cacheless executor.
     spans:
         Run each job under a per-job span-tracing telemetry (default).
         The finished job keeps its span document for the
         ``/v1/jobs/<id>/spans`` endpoint, and job metrics fold into
         :attr:`registry`.  ``False`` turns the whole per-job telemetry
         plane off (``repro serve --no-spans``).
+    concurrency:
+        Worker threads claiming queued jobs (default 1, which preserves
+        the strict in-order single-worker behaviour exactly).  With
+        ``N > 1``, up to N jobs run at once over the shared executor —
+        fairness, coalescing and determinism are the executor's
+        contract (see ``docs/service.md``, "Concurrency model").
     """
 
     def __init__(self, executor: SweepExecutor | None = None,
-                 spans: bool = True) -> None:
+                 spans: bool = True, concurrency: int = 1) -> None:
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
         self.executor = executor if executor is not None \
             else SweepExecutor()
         self.spans_enabled = spans
+        self.concurrency = concurrency
         #: Scheduler-lifetime metrics: every finished job's telemetry
         #: registry folds in here (simulated-time counters plus the
         #: ``exec.*`` mirrors), rendered by ``GET /v1/metrics``.
@@ -166,22 +206,27 @@ class JobScheduler:
         self._queue: deque[Job] = deque()
         self._seq = 0
         self._closed = False
-        self._thread = threading.Thread(target=self._worker,
-                                        name="repro-service-worker",
-                                        daemon=True)
-        self._thread.start()
+        self._threads = [
+            threading.Thread(target=self._worker,
+                             name=f"repro-service-worker-{index}",
+                             daemon=True)
+            for index in range(concurrency)]
+        for thread in self._threads:
+            thread.start()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop the worker (after its current job) and the executor."""
+        """Stop the workers (after their current jobs) and the
+        executor."""
         with self._wake:
             if self._closed:
                 return
             self._closed = True
             self._wake.notify_all()
-        self._thread.join()
+        for thread in self._threads:
+            thread.join()
         self.executor.close()
 
     def __enter__(self) -> "JobScheduler":
@@ -215,24 +260,44 @@ class JobScheduler:
                 raise BadSubmission("service is shutting down")
             self._seq += 1
             job = Job(id=f"j{self._seq}", experiment=experiment,
-                      options=options)
+                      options=options, submitted_unix=time.time())
             self._jobs[job.id] = job
             self._order.append(job.id)
             self._queue.append(job)
             self._append_event_locked(job, "state", state="queued")
             self._wake.notify_all()
-            return job.record()
+            return job.record(
+                queue_position=self._queue_position_locked(job))
 
     def get(self, job_id: str) -> dict:
         """The job's current record; raises :class:`UnknownJob`."""
         with self._lock:
-            return self._job(job_id).record()
+            job = self._job(job_id)
+            return job.record(
+                queue_position=self._queue_position_locked(job))
 
     def list(self) -> list[dict]:
-        """Records of every job, in submission order."""
+        """Records of every job, sorted by submission time (ties break
+        on submission sequence), queued jobs carrying their current
+        queue position."""
         with self._lock:
-            return [self._jobs[job_id].record()
-                    for job_id in self._order]
+            ordered = sorted(
+                enumerate(self._order),
+                key=lambda pair: (self._jobs[pair[1]].submitted_unix,
+                                  pair[0]))
+            return [self._jobs[job_id].record(
+                        queue_position=self._queue_position_locked(
+                            self._jobs[job_id]))
+                    for _, job_id in ordered]
+
+    def _queue_position_locked(self, job: Job) -> int | None:
+        """0-based start-queue position, or ``None`` once started."""
+        if job.state != "queued":
+            return None
+        for position, queued in enumerate(self._queue):
+            if queued is job:
+                return position
+        return None
 
     def events_since(self, job_id: str, after: int = -1) \
             -> tuple[list[dict], bool]:
@@ -297,15 +362,22 @@ class JobScheduler:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Point-in-time scheduler load figures for exposition and
-        readiness: total jobs ever submitted, per-state counts, and the
-        queue depth (jobs submitted but not yet started)."""
+        readiness: total jobs ever submitted, per-state counts, the
+        queue depth (jobs submitted but not yet started), the worker
+        head-count, and the executor's in-flight cell table size."""
         with self._lock:
             states = {state: 0 for state in JOB_STATES}
             for job in self._jobs.values():
                 states[job.state] += 1
-            return {"jobs_total": len(self._jobs),
-                    "states": states,
-                    "queue_depth": len(self._queue)}
+            stats = {"jobs_total": len(self._jobs),
+                     "states": states,
+                     "queue_depth": len(self._queue),
+                     "concurrency": self.concurrency,
+                     "workers_alive": sum(
+                         1 for thread in self._threads
+                         if thread.is_alive())}
+        stats["inflight_cells"] = self.executor.inflight_cells()
+        return stats
 
     def queue_depth(self) -> int:
         """Jobs queued but not yet running."""
@@ -313,8 +385,9 @@ class JobScheduler:
             return len(self._queue)
 
     def worker_alive(self) -> bool:
-        """Whether the worker thread is still able to run jobs."""
-        return self._thread.is_alive() and not self._closed
+        """Whether at least one worker thread can still run jobs."""
+        return not self._closed and \
+            any(thread.is_alive() for thread in self._threads)
 
     def collect_metrics(self, exposition, prefix: str = "repro") -> None:
         """Render the merged job registry into an
@@ -358,7 +431,7 @@ class JobScheduler:
         job.events.append(event)
 
     # ------------------------------------------------------------------
-    # Worker
+    # Workers
     # ------------------------------------------------------------------
     def _worker(self) -> None:
         while True:
@@ -375,35 +448,34 @@ class JobScheduler:
     def _run_job(self, job: Job) -> None:
         executor = self.executor
         defaults = CellPolicy()
-        executor.policy = CellPolicy(
+        policy = CellPolicy(
             timeout_s=job.options.timeout_s,
             retries=job.options.retries
             if job.options.retries is not None else defaults.retries)
-        executor.backend = job.options.backend
-        executor.progress = _JobProgress(self, job)
         telemetry = Telemetry(spans=True) if self.spans_enabled else None
-        before = _stats_snapshot(executor.stats)
         state, error, result_json = "done", None, None
         spans_json = None
-        try:
-            with exec_runtime.activated(executor), \
-                    obs_runtime.activated(telemetry):
-                result = registry.run_experiment(job.experiment,
-                                                 job.options)
-            result_json = result.to_json()
-            if telemetry is not None:
-                spans_json = json.dumps(telemetry.spans_doc(),
-                                        sort_keys=True)
-        except SweepFailure as failure:
-            state, error = "failed", str(failure)
-        except Exception as exc:  # noqa: BLE001 — job isolation
-            state = "failed"
-            error = f"{type(exc).__name__}: {exc}"
-            traceback.print_exc()
-        finally:
-            executor.progress = None
+        with executor.scoped(policy=policy,
+                             backend=job.options.backend,
+                             progress=_JobProgress(self, job)) as scope:
+            try:
+                with exec_runtime.activated(executor), \
+                        obs_runtime.activated(telemetry):
+                    result = registry.run_experiment(job.experiment,
+                                                     job.options)
+                result_json = result.to_json()
+                if telemetry is not None:
+                    spans_json = json.dumps(telemetry.spans_doc(),
+                                            sort_keys=True)
+            except SweepFailure as failure:
+                state, error = "failed", str(failure)
+            except Exception as exc:  # noqa: BLE001 — job isolation
+                state = "failed"
+                error = f"{type(exc).__name__}: {exc}"
+                traceback.print_exc()
         with self._lock:
-            job.counters = _stats_delta(before, executor.stats)
+            job.counters = {name: getattr(scope.stats, name)
+                            for name in COUNTER_FIELDS}
             job.state = state
             job.error = error
             job.result_json = result_json
@@ -424,12 +496,3 @@ class JobNotDone(Exception):
 class JobFailedError(Exception):
     """The job failed terminally (HTTP 410); the message is the job's
     error."""
-
-
-def _stats_snapshot(stats: ExecutorStats) -> dict:
-    return {name: getattr(stats, name) for name in COUNTER_FIELDS}
-
-
-def _stats_delta(before: dict, stats: ExecutorStats) -> dict:
-    return {name: getattr(stats, name) - before[name]
-            for name in COUNTER_FIELDS}

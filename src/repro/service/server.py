@@ -41,9 +41,13 @@ is done, 410 result of a failed job, 413 oversized body, 503 submission
 while not ready (the ``Retry-After`` header and ``retry_after_s`` body
 field say when to retry) — every error body is ``{"error": message}``.
 
-The compute itself happens on the scheduler's worker thread; the event
-loop only parses requests and serialises records, so status and stream
-requests stay responsive while a job simulates.  Event streaming polls
+The compute itself happens on the scheduler's worker threads (up to
+``--job-concurrency`` jobs at once); the event loop only parses
+requests and serialises records, so status and stream requests stay
+responsive while jobs simulate.  Because the loop is single-threaded,
+the readiness check inside a submission and the enqueue are atomic with
+respect to other submissions — concurrent clients cannot overshoot the
+queue limit through the API.  Event streaming polls
 the scheduler's append-only per-job event log (cursor = last ``seq``),
 which is also what makes client reconnects exact: the ``after`` query
 parameter resumes the stream without loss or duplication.
@@ -425,14 +429,27 @@ class SweepService:
                    help_text="Jobs queued but not yet started.")
         expo.gauge("repro_scheduler_worker_up",
                    int(self.scheduler.worker_alive()),
-                   help_text="1 while the scheduler worker thread is "
-                             "alive.")
+                   help_text="1 while at least one scheduler worker "
+                             "thread is alive.")
+        expo.gauge("repro_scheduler_concurrency",
+                   stats.get("concurrency", 1),
+                   help_text="Configured job worker threads "
+                             "(--job-concurrency).")
+        expo.gauge("repro_scheduler_workers_alive",
+                   stats.get("workers_alive",
+                             int(self.scheduler.worker_alive())),
+                   help_text="Job worker threads currently alive.")
+        expo.gauge("repro_scheduler_inflight_cells",
+                   stats.get("inflight_cells", 0),
+                   help_text="Unique cell fingerprints being computed "
+                             "right now across all running jobs.")
         executor = self.scheduler.executor
         exec_stats = getattr(executor, "stats", None)
         if exec_stats is not None:
             for field in ("cells", "computed", "inline", "batched",
-                          "memo_hits", "resumed", "retries", "timeouts",
-                          "failed", "fallbacks", "engine_events"):
+                          "memo_hits", "dedup_hits", "resumed",
+                          "retries", "timeouts", "failed", "fallbacks",
+                          "engine_events"):
                 expo.counter(f"repro_executor_{field}",
                              getattr(exec_stats, field),
                              help_text=f"Executor lifetime "

@@ -144,10 +144,21 @@ def _pump(source: socket.socket, sink: socket.socket,
 
 def _reset(sock: socket.socket) -> None:
     """Close with an RST (SO_LINGER 0) so the peer sees a reset, not a
-    tidy EOF."""
+    tidy EOF.
+
+    The shutdown first wakes any sibling pump thread blocked in
+    ``recv`` on this same socket — a blocked syscall holds the kernel's
+    file description open, which would defer the RST until the peer
+    sent something (for a one-way event stream: never, leaving the
+    client-side read to die by socket timeout instead of reset).
+    """
     try:
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
                         struct.pack("ii", 1, 0))
+    except OSError:
+        pass
+    try:
+        sock.shutdown(socket.SHUT_RD)
     except OSError:
         pass
     sock.close()
